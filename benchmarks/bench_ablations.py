@@ -1,0 +1,11 @@
+"""Benchmark + regeneration of the Eq. 6 / Sec. 4 ablations
+(redistribution overhead, memory trade-off, all-reduce algorithm)."""
+
+from repro.experiments import ablations
+
+
+def bench_ablations(benchmark, setting, record_result):
+    result = benchmark(ablations.run, setting)
+    record_result(result)
+    redis = result.tables[0]
+    assert all(r["relative_to_model_step"] <= 1 / 3 + 1e-9 for r in redis.rows)

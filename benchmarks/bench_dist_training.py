@@ -1,0 +1,66 @@
+"""Benchmarks of the executable distributed trainers.
+
+Measures wall-clock of the simulated 1.5D MLP / integrated CNN training
+loops and regenerates the numerical-equivalence table (max deviation
+from serial SGD across grids).
+"""
+
+import numpy as np
+
+from repro.data.synthetic import synthetic_classification, synthetic_images
+from repro.dist.integrated import CNNParams, IntegratedCNNConfig, distributed_cnn_train
+from repro.dist.train import MLPParams, distributed_mlp_train
+from repro.experiments import dist_equivalence
+
+X, Y = synthetic_classification(16, 64, 5, seed=0)
+MLP0 = MLPParams.init([16, 32, 5], seed=1)
+
+CFG = IntegratedCNNConfig(
+    in_channels=2, height=8, width=8,
+    conv_channels=(4,), conv_kernels=(3,), pool_after=(True,),
+    fc_dims=(16, 5),
+)
+XI, YI = synthetic_images(16, 2, 8, 8, 5, seed=2)
+CNN0 = CNNParams.init(CFG, seed=3)
+
+
+def bench_mlp_15d_2x2(benchmark):
+    def run():
+        _, losses, _ = distributed_mlp_train(
+            MLP0, X, Y, pr=2, pc=2, batch=16, steps=3, lr=0.1
+        )
+        return losses
+
+    losses = benchmark(run)
+    assert len(losses) == 3 and np.isfinite(losses).all()
+
+
+def bench_mlp_15d_4x1(benchmark):
+    def run():
+        _, losses, _ = distributed_mlp_train(
+            MLP0, X, Y, pr=4, pc=1, batch=16, steps=3, lr=0.1
+        )
+        return losses
+
+    losses = benchmark(run)
+    assert np.isfinite(losses).all()
+
+
+def bench_integrated_cnn_2x2(benchmark):
+    def run():
+        _, losses, _ = distributed_cnn_train(
+            CFG, CNN0, XI, YI, pr=2, pc=2, batch=8, steps=2, lr=0.1
+        )
+        return losses
+
+    losses = benchmark(run)
+    assert np.isfinite(losses).all()
+
+
+def bench_dist_equivalence_report(benchmark, setting, record_result):
+    """Regenerate the full numerical-equivalence table (slow: many grids)."""
+    result = benchmark.pedantic(dist_equivalence.run, args=(setting,), rounds=1, iterations=1)
+    record_result(result)
+    note = next(n for n in result.notes if "max |weight deviation|" in n)
+    deviation = float(note.split("= ")[1].split(" ")[0])
+    assert deviation < 1e-8

@@ -1,0 +1,13 @@
+"""Benchmark + regeneration of the Eq. 5 crossover analysis (Sec. 2.2).
+
+Paper series: per-layer batch/model volume ratio; conv4 favours model
+parallelism for B <= 12 (our literal crossover: 13.6).
+"""
+
+from repro.experiments import eq5_crossover
+
+
+def bench_eq5(benchmark, setting, record_result):
+    result = benchmark(eq5_crossover.run, setting)
+    record_result(result)
+    assert any("13.6" in n for n in result.notes)

@@ -1,0 +1,62 @@
+"""Benchmarks for the extension experiments: per-layer placement solver,
+memory-constrained search, scaling curves, and the grid-switching trainer."""
+
+import numpy as np
+
+from repro.core.optimizer import best_strategy, optimal_placements
+from repro.core.strategy import ProcessGrid
+from repro.data.synthetic import synthetic_classification
+from repro.dist.switching import distributed_switching_mlp_train
+from repro.dist.train import MLPParams
+from repro.experiments import placements, scaling_curves
+from repro.machine.compute import ComputeModel
+from repro.machine.params import cori_knl
+from repro.nn import alexnet
+
+NET = alexnet()
+M = cori_knl()
+CM = ComputeModel.knl_alexnet()
+
+
+def bench_placements_experiment(benchmark, setting, record_result):
+    result = benchmark(placements.run, setting)
+    record_result(result)
+    rows = {r["B"]: r for r in result.main_table().rows}
+    assert rows[2048]["fc6"] == "model"
+
+
+def bench_scaling_curves(benchmark, setting, record_result):
+    result = benchmark.pedantic(
+        scaling_curves.run, args=(setting,), rounds=1, iterations=1
+    )
+    record_result(result)
+    assert any("scaling continues past" in n for n in result.notes)
+
+
+def bench_optimal_placements_solver(benchmark):
+    strategy = benchmark(optimal_placements, NET, 2048, ProcessGrid(16, 32), M)
+    assert len(strategy.placements) == 8
+
+
+def bench_memory_constrained_search(benchmark):
+    cap = NET.total_params  # half the pure-batch weights+grads footprint
+    choice = benchmark.pedantic(
+        best_strategy, args=(NET, 2048, 512, M, CM),
+        kwargs=dict(max_memory_elements=cap), rounds=1, iterations=1,
+    )
+    assert choice.grid.pr > 1
+
+
+def bench_switching_trainer(benchmark):
+    x, y = synthetic_classification(12, 48, 4, seed=0)
+    params = MLPParams.init([12, 16, 4], seed=1)
+
+    def run():
+        _, losses, _ = distributed_switching_mlp_train(
+            params, x, y, placements=["batch", "model"], pr=2, pc=2,
+            batch=12, steps=3, lr=0.1,
+        )
+        return losses
+
+    losses = benchmark(run)
+    assert np.isfinite(losses).all()

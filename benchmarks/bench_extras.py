@@ -1,0 +1,32 @@
+"""Benchmarks + regeneration for the remaining extension experiments:
+the (alpha, beta) sensitivity sweep, the comm/memory Pareto frontier,
+and the executable SUMMA-vs-1.5D cross-check."""
+
+from repro.experiments import pareto_frontier, sensitivity
+
+
+def bench_sensitivity(benchmark, setting, record_result):
+    result = benchmark.pedantic(sensitivity.run, args=(setting,), rounds=1, iterations=1)
+    record_result(result)
+    rows = result.main_table().rows
+    slow = [r for r in rows if r["bandwidth_GBps"] == min(x["bandwidth_GBps"] for x in rows)]
+    fast = [r for r in rows if r["bandwidth_GBps"] == max(x["bandwidth_GBps"] for x in rows)]
+    assert min(r["speedup"] for r in slow) > max(r["speedup"] for r in fast)
+
+
+def bench_pareto_frontier(benchmark, setting, record_result):
+    result = benchmark.pedantic(
+        pareto_frontier.run, args=(setting,), rounds=1, iterations=1
+    )
+    record_result(result)
+    flagged = [r for r in result.main_table().rows if r["on_frontier"]]
+    assert len(flagged) >= 2
+
+
+def bench_modelcheck(benchmark, setting, record_result):
+    from repro.experiments import modelcheck
+
+    result = benchmark.pedantic(modelcheck.run, args=(setting,), rounds=1, iterations=1)
+    record_result(result)
+    for row in result.main_table().rows:
+        assert 0.9 <= row["simulated_over_predicted"] <= 1.1

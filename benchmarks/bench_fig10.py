@@ -1,0 +1,12 @@
+"""Benchmark + regeneration of Fig. 10 (domain parallelism extends the
+strong-scaling limit past P = B = 512, up to P = 4096)."""
+
+from repro.experiments import fig10
+
+
+def bench_fig10(benchmark, setting, record_result):
+    result = benchmark(fig10.run, setting)
+    record_result(result)
+    rows = [r for r in result.main_table().rows if r["strategy"].startswith("domain")]
+    totals = [r["total_s"] for r in rows]
+    assert all(t1 < t0 for t0, t1 in zip(totals, totals[1:]))

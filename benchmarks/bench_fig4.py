@@ -1,0 +1,12 @@
+"""Benchmark + regeneration of Fig. 4 (single-KNL epoch time vs batch).
+
+Paper series: one-epoch AlexNet time for B = 1..2048, minimum at 256.
+"""
+
+from repro.experiments import fig4
+
+
+def bench_fig4(benchmark, setting, record_result):
+    result = benchmark(fig4.run, setting)
+    record_result(result)
+    assert any("best batch size = 256" in n for n in result.notes)

@@ -1,0 +1,18 @@
+"""Benchmark + regeneration of Fig. 6 (strong scaling, same grid for all
+layers, B = 2048, P = 8..512).
+
+Paper's headline row: at P = 512 the integrated approach beats pure
+batch (their best grid 16x32, 2.1x total / 5.0x comm); ours reproduces
+the shape with best grid 4x128 at 1.6x / 2.7x — see EXPERIMENTS.md.
+"""
+
+from repro.experiments import fig6
+
+
+def bench_fig6(benchmark, setting, record_result):
+    result = benchmark(fig6.run, setting)
+    record_result(result)
+    summary = result.main_table()
+    row512 = next(r for r in summary.rows if r["P"] == 512)
+    assert row512["speedup_total"] > 1.3
+    assert row512["best_grid"] not in ("1x512", "512x1")

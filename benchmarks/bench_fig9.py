@@ -1,0 +1,10 @@
+"""Benchmark + regeneration of Fig. 9 (weak scaling: B grows with P)."""
+
+from repro.experiments import fig9
+
+
+def bench_fig9(benchmark, setting, record_result):
+    result = benchmark(fig9.run, setting)
+    record_result(result)
+    for row in result.main_table().rows:
+        assert row["speedup_total"] >= 1.0

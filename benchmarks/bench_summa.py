@@ -1,0 +1,13 @@
+"""Benchmark + regeneration of the Section-4 1.5D-vs-SUMMA comparison.
+
+Paper claim: there is no regime where 2D SUMMA strictly beats the 1.5D
+algorithm on communication volume.
+"""
+
+from repro.experiments import summa_ablation
+
+
+def bench_summa(benchmark, setting, record_result):
+    result = benchmark(summa_ablation.run, setting)
+    record_result(result)
+    assert any("no configuration" in n for n in result.notes)

@@ -1,0 +1,9 @@
+"""Benchmark + regeneration of Table 1 (fixed simulation parameters)."""
+
+from repro.experiments import table1
+
+
+def bench_table1(benchmark, setting, record_result):
+    result = benchmark(table1.run, setting)
+    record_result(result)
+    assert "60,954,656" in result.render()

@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_<id>.py`` regenerates one paper table/figure: the benchmark
+measures the harness's runtime (pytest-benchmark) and the experiment's
+rendered rows/series are written to ``benchmarks/output/<id>.txt`` (and
+echoed to stdout when pytest runs with ``-s``), so running the suite
+reproduces every artifact of the evaluation section.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import Setting, default_setting
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+@pytest.fixture(scope="session")
+def setting() -> Setting:
+    """The fixed Table-1 setting shared by every benchmark."""
+    return default_setting()
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> str:
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture()
+def record_result(report_dir):
+    """Write an ExperimentResult's rendering to the output dir and stdout."""
+
+    def _record(result):
+        path = os.path.join(report_dir, f"{result.experiment_id}.txt")
+        text = result.render()
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print()
+        print(text)
+        return path
+
+    return _record

@@ -1,0 +1,61 @@
+"""Quickstart: find the best parallelization strategy for AlexNet.
+
+Reproduces the paper's core workflow in a dozen lines: fix the network,
+batch size, process count and machine (Table 1), score every ``Pr x Pc``
+grid with the Eq. 8 communication model plus the measured compute model,
+and report the winner with its per-category breakdown.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ComputeModel,
+    alexnet,
+    best_strategy,
+    cori_knl,
+    evaluate_grids,
+    integrated_cost,
+)
+from repro.report.charts import stacked_bar_chart
+from repro.report.tables import format_seconds
+
+
+def main() -> None:
+    network = alexnet()
+    machine = cori_knl()
+    compute = ComputeModel.knl_alexnet()
+    batch, processes = 2048, 512
+
+    print(f"Network: {network.name} ({network.total_params:,} parameters)")
+    print(f"Machine: {machine.name}; B = {batch}, P = {processes}\n")
+
+    # Score every grid under the same-grid 1.5D strategy (Fig. 6 style).
+    points = evaluate_grids(network, batch, processes, machine, compute)
+    chart = stacked_bar_chart(
+        [pt.label for pt in points],
+        [
+            {
+                "compute": pt.compute_epoch,
+                "comm(model)": pt.comm_epoch - pt.batch_comm_epoch,
+                "comm(batch)": pt.batch_comm_epoch,
+            }
+            for pt in points
+        ],
+        title="Epoch time per grid (seconds)",
+    )
+    print(chart)
+
+    # Full search (Fig. 7 family included) for the overall winner.
+    choice = best_strategy(network, batch, processes, machine, compute)
+    print(f"\nBest strategy: {choice.strategy.describe()}")
+    print(f"  epoch time      : {format_seconds(choice.total_epoch)}")
+    print(f"  communication   : {format_seconds(choice.comm_epoch)}")
+
+    breakdown = integrated_cost(network, batch, choice.strategy, machine)
+    print("  per-category comm (one iteration):")
+    for category, seconds in sorted(breakdown.by_category().items()):
+        print(f"    {category:<22} {format_seconds(seconds)}")
+
+
+if __name__ == "__main__":
+    main()

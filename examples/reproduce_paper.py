@@ -1,0 +1,36 @@
+"""Regenerate every table and figure of the paper in one go.
+
+Runs all registered experiments (Table 1, Figs. 4 and 6-10, the Eq. 5
+crossover, the SUMMA comparison, the Eq. 6/memory ablations, and the
+numerical-equivalence study) and writes their reports under
+``results/`` next to this script.
+
+Run:  python examples/reproduce_paper.py [output_dir]
+"""
+
+import os
+import sys
+
+from repro.experiments.registry import EXPERIMENTS
+from repro.report.export import export_results, write_text
+
+
+def main() -> None:
+    out = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
+        os.path.dirname(__file__), "results"
+    )
+    os.makedirs(out, exist_ok=True)
+    for entry in EXPERIMENTS.values():
+        print(f"running {entry.experiment_id} ({entry.paper_ref}) ...", flush=True)
+        result = entry.runner()
+        write_text(os.path.join(out, f"{entry.experiment_id}.txt"), result.render())
+        for i, table in enumerate(result.tables):
+            stem = entry.experiment_id if i == 0 else f"{entry.experiment_id}_{i}"
+            export_results(table, out, stem)
+        for note in result.notes:
+            print(f"  {note}")
+    print(f"\nreports written to {out}/")
+
+
+if __name__ == "__main__":
+    main()

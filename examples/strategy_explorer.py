@@ -1,0 +1,65 @@
+"""Strategy exploration across architectures (beyond the paper's AlexNet).
+
+The paper notes its analysis "is generally applicable to any neural
+network": this example sweeps the integrated-parallelism optimizer over
+AlexNet, VGG-16, a 1x1-heavy residual-style stack and an RNN-like MLP,
+showing how the best ``Pr x Pc`` grid shifts with the network's
+weight-vs-activation balance (Eq. 5's ratio per layer drives it):
+
+* FC-heavy networks (MLP) want large ``Pr`` — weights dominate;
+* conv-heavy networks want large ``Pc`` — activations dominate;
+* mixed networks (AlexNet/VGG) land in between, with conv layers pure
+  batch and FC layers 1.5D (the Fig. 7 configuration).
+
+Run:  python examples/strategy_explorer.py
+"""
+
+from repro import ComputeModel, alexnet, best_strategy, cori_knl, mlp, resnet_like_stack, vgg16
+from repro.core.ratio import crossover_batch_size
+from repro.machine.compute import EpochTimeTable
+from repro.report.tables import format_seconds
+
+
+def make_compute(flops_per_sample: float) -> ComputeModel:
+    """Scale the embedded AlexNet table by relative per-sample flops.
+
+    Good enough for cross-architecture comparisons: the table sets the
+    efficiency curve; total work scales it.
+    """
+    base = EpochTimeTable.knl_alexnet()
+    ratio = flops_per_sample / alexnet().total_flops
+    scaled = {b: t * ratio for b, t in base.entries}
+    return ComputeModel(EpochTimeTable(scaled, dataset_size=base.dataset_size))
+
+
+def main() -> None:
+    machine = cori_knl()
+    batch, processes = 2048, 512
+    networks = [
+        alexnet(),
+        vgg16(),
+        resnet_like_stack(input_size=56, blocks=8),
+        mlp([4096, 4096, 4096, 4096, 1000], name="RNN-like MLP"),
+    ]
+
+    print(f"B = {batch}, P = {processes}, machine = {machine.name}\n")
+    print(f"{'network':<28} {'params':>12} {'best strategy':<28} {'epoch':>10} {'comm':>10}")
+    for net in networks:
+        compute = make_compute(net.total_flops)
+        choice = best_strategy(net, batch, processes, machine, compute)
+        print(
+            f"{net.name:<28} {net.total_params:>12,} "
+            f"{choice.strategy.describe():<28} "
+            f"{format_seconds(choice.total_epoch):>10} "
+            f"{format_seconds(choice.comm_epoch):>10}"
+        )
+
+    print("\nPer-layer Eq. 5 crossover batch (model parallelism wins below it):")
+    net = alexnet(grouped=False)
+    for w in net.weighted_layers:
+        marker = "<-- model-friendly at small B" if crossover_batch_size(w) > 8 else ""
+        print(f"  {w.name:<6} B* = {crossover_batch_size(w):>8.1f} {marker}")
+
+
+if __name__ == "__main__":
+    main()

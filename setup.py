@@ -1,0 +1,5 @@
+"""Setuptools shim: enables legacy editable installs on environments
+without the `wheel` package (PEP 517 builds need bdist_wheel)."""
+from setuptools import setup
+
+setup()

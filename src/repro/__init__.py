@@ -1,0 +1,84 @@
+"""repro — Integrated Model, Batch, and Domain Parallelism in DNN Training.
+
+A full reproduction of Gholami, Azad, Jin, Keutzer & Buluç,
+*"Integrated Model, Batch, and Domain Parallelism in Training Neural
+Networks"* (SPAA 2018): the communication-cost theory (Eqs. 3-9), the
+1.5D/domain-parallel training algorithms run on a simulated MPI, and
+every table and figure of the evaluation.
+
+Quick start::
+
+    from repro import alexnet, cori_knl, ComputeModel, best_strategy
+
+    choice = best_strategy(
+        alexnet(), batch=2048, p=512,
+        machine=cori_knl(), compute=ComputeModel.knl_alexnet(),
+    )
+    print(choice.strategy.describe(), choice.total_epoch)
+
+Package map (see DESIGN.md for the full inventory):
+
+====================  ======================================================
+``repro.core``        cost equations, strategy search, epoch simulation
+``repro.nn``          layer/shape algebra (Eq. 2), AlexNet/VGG/... specs
+``repro.machine``     alpha-beta machine model + KNL compute table (Fig. 4)
+``repro.collectives`` closed-form collective costs (Bruck, ring, ...)
+``repro.simmpi``      executable simulated MPI with virtual clocks
+``repro.dist``        numerically exact 1.5D + domain-parallel SGD trainers
+``repro.experiments`` one harness per paper table/figure
+====================  ======================================================
+"""
+
+from repro.core import (
+    CostBreakdown,
+    Placement,
+    ProcessGrid,
+    Strategy,
+    batch_parallel_cost,
+    best_strategy,
+    domain_parallel_cost,
+    evaluate_grids,
+    integrated_cost,
+    integrated_mb_cost,
+    model_parallel_cost,
+    simulate_epoch,
+    simulate_iteration,
+)
+from repro.machine import ComputeModel, EpochTimeTable, MachineParams, cori_knl
+from repro.nn import NetworkSpec, Shape3D, alexnet, lenet_like, mlp, resnet_like_stack, vgg16
+from repro.simmpi import SimEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # strategies & costs
+    "ProcessGrid",
+    "Placement",
+    "Strategy",
+    "CostBreakdown",
+    "model_parallel_cost",
+    "batch_parallel_cost",
+    "domain_parallel_cost",
+    "integrated_mb_cost",
+    "integrated_cost",
+    "simulate_iteration",
+    "simulate_epoch",
+    "evaluate_grids",
+    "best_strategy",
+    # machine
+    "MachineParams",
+    "cori_knl",
+    "ComputeModel",
+    "EpochTimeTable",
+    # networks
+    "Shape3D",
+    "NetworkSpec",
+    "alexnet",
+    "vgg16",
+    "resnet_like_stack",
+    "mlp",
+    "lenet_like",
+    # runtime
+    "SimEngine",
+]

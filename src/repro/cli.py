@@ -1,0 +1,194 @@
+"""Command-line interface: ``repro list`` / ``repro run <id> [--out DIR]``.
+
+Examples::
+
+    repro list                      # enumerate experiments
+    repro run fig7                  # print Fig. 7's tables and bars
+    repro run all --out results/    # regenerate everything, export files
+    repro summary                   # network + machine summary
+    repro best --batch 2048 --processes 512        # optimizer front-end
+    repro best -B 512 -P 4096 --network vgg16 --max-memory-mb 256
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.common import default_setting
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.report.export import export_results, write_text
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Integrated Model, Batch, and Domain Parallelism "
+            "in Training Neural Networks' (SPAA 2018)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_p.add_argument("experiment", help="experiment id from 'repro list', or 'all'")
+    run_p.add_argument("--out", default=None, help="directory for txt/csv/json export")
+    run_p.add_argument("--quiet", action="store_true", help="suppress stdout rendering")
+
+    sub.add_parser("summary", help="print the Table-1 setting summary")
+
+    best_p = sub.add_parser(
+        "best", help="find the best parallelization strategy for (network, B, P)"
+    )
+    best_p.add_argument("-B", "--batch", type=int, required=True, help="global batch size")
+    best_p.add_argument("-P", "--processes", type=int, required=True, help="process count")
+    best_p.add_argument(
+        "--network",
+        default="alexnet",
+        choices=["alexnet", "vgg16", "resnet_like", "mlp"],
+        help="network spec (default: alexnet)",
+    )
+    best_p.add_argument(
+        "--max-memory-mb",
+        type=float,
+        default=None,
+        help="per-process memory cap in MB (Sec. 4 constraint)",
+    )
+    best_p.add_argument(
+        "--max-pc",
+        type=int,
+        default=None,
+        help="cap on batch-parallel width (large-batch accuracy concern)",
+    )
+    best_p.add_argument(
+        "--overlap",
+        action="store_true",
+        help="assume perfect comm/backprop overlap (Fig. 8)",
+    )
+    best_p.add_argument(
+        "--plan",
+        action="store_true",
+        help="print the ordered per-iteration communication schedule",
+    )
+    return parser
+
+
+def _build_network(name: str):
+    from repro.nn import alexnet, mlp, resnet_like_stack, vgg16
+
+    if name == "alexnet":
+        return alexnet()
+    if name == "vgg16":
+        return vgg16()
+    if name == "resnet_like":
+        return resnet_like_stack(input_size=56, blocks=8)
+    return mlp([4096, 4096, 4096, 1000], name="MLP 4096x3")
+
+
+def _run_best(args) -> int:
+    from repro.core.costs import integrated_cost
+    from repro.core.memory import memory_footprint
+    from repro.core.optimizer import best_strategy
+    from repro.report.tables import format_seconds
+
+    setting = default_setting()
+    network = _build_network(args.network)
+    machine = setting.machine
+    max_memory = (
+        args.max_memory_mb * 2**20 / machine.element_bytes
+        if args.max_memory_mb is not None
+        else None
+    )
+    choice = best_strategy(
+        network,
+        args.batch,
+        args.processes,
+        machine,
+        setting.compute,
+        max_pc=args.max_pc,
+        max_memory_elements=max_memory,
+        overlap=args.overlap,
+    )
+    strategy = choice.strategy
+    print(f"network : {network.name} ({network.total_params:,} parameters)")
+    print(f"setting : B={args.batch}, P={args.processes}, machine={machine.name}")
+    print(f"best    : {strategy.describe()}")
+    print(f"  epoch time    : {format_seconds(choice.total_epoch)}")
+    print(f"  communication : {format_seconds(choice.comm_epoch)}")
+    fp = memory_footprint(network, args.batch, strategy)
+    print(
+        f"  memory/process: {fp.bytes(machine.element_bytes) / 2**20:.1f} MB "
+        f"(weights {fp.weights / 1e6:.1f}M + grads + activations "
+        f"{fp.activations / 1e6:.1f}M elements)"
+    )
+    breakdown = integrated_cost(network, args.batch, strategy, machine)
+    print("  per-iteration comm breakdown:")
+    for category, seconds in sorted(breakdown.by_category().items()):
+        print(f"    {category:<22} {format_seconds(seconds)}")
+    print("  per-layer placements:")
+    for w, pl in zip(network.weighted_layers, strategy.placements):
+        print(f"    {w.name:<10} {pl.value}")
+    if args.plan:
+        from repro.core.plan import build_iteration_plan
+
+        plan = build_iteration_plan(network, args.batch, strategy, machine)
+        print()
+        print(plan.to_table().to_ascii())
+        print(
+            f"  blocking (critical-path) communication: "
+            f"{format_seconds(plan.blocking_time)} of {format_seconds(plan.total_time)}"
+        )
+    return 0
+
+
+def _run_one(experiment_id: str, out: Optional[str], quiet: bool) -> None:
+    entry = get_experiment(experiment_id)
+    result = entry.runner()
+    if not quiet:
+        print(result.render())
+        print()
+    if out:
+        for i, table in enumerate(result.tables):
+            stem = result.experiment_id if i == 0 else f"{result.experiment_id}_{i}"
+            export_results(table, out, stem)
+        write_text(f"{out.rstrip('/')}/{result.experiment_id}_report.txt", result.render())
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(k) for k in EXPERIMENTS)
+        for entry in EXPERIMENTS.values():
+            print(f"{entry.experiment_id:<{width}}  [{entry.paper_ref:<15}] {entry.title}")
+        return 0
+    if args.command == "summary":
+        setting = default_setting()
+        print(setting.network.summary())
+        print()
+        m = setting.machine
+        print(
+            f"machine: {m.name} (alpha={m.alpha * 1e6:g}us, "
+            f"1/beta={m.bandwidth / 1e9:g} GB/s)"
+        )
+        print(
+            f"dataset: {setting.dataset.name} "
+            f"({setting.dataset.train_images:,} images, "
+            f"{setting.dataset.num_classes} classes)"
+        )
+        return 0
+    if args.command == "best":
+        return _run_best(args)
+    # run
+    ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for experiment_id in ids:
+        _run_one(experiment_id, args.out, args.quiet)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

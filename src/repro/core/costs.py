@@ -1,0 +1,334 @@
+"""Closed-form communication costs: Eqs. 3, 4, 7, 8 and 9 of the paper.
+
+Every cost function returns a :class:`CostBreakdown` — a flat list of
+per-layer, per-category :class:`CostTerm` records — so reports can show
+exactly the decomposition the paper's figures use (batch-parallel
+all-reduce communication is the cross-hatched portion of Figs. 6-9).
+
+Term categories
+---------------
+``model.allgather_fwd``
+    Forward all-gather of output activations over the ``Pr`` groups
+    (Fig. 5 top; first sum of Eqs. 3 and 8).
+``model.allreduce_dx``
+    Backward all-reduce of activation gradients over the ``Pr`` groups
+    (Fig. 5 bottom; second sum of Eqs. 3 and 8 — skipped for the first
+    layer, which needs no gradient propagated past it).
+``batch.allreduce_dw``
+    Weight-gradient all-reduce (Fig. 2/5 middle; Eq. 4 and the third
+    sum of Eq. 8).  Over the ``Pc`` groups with volume ``|W_i| / Pr``
+    for 1.5D layers; over all ``P`` with volume ``|W_i|`` for pure-batch
+    or domain-parallel layers.
+``domain.halo_fwd`` / ``domain.halo_bwd``
+    Pairwise halo exchanges of boundary activations/gradients for
+    domain-parallel layers (Eq. 7 and the ``LD`` sums of Eq. 9).  Zero
+    for 1x1 convolutions, as the paper highlights.
+
+All equations are implemented by the single general routine
+:func:`integrated_cost` (Eq. 9 with per-layer placements); the named
+pure cases are thin wrappers that instantiate the degenerate grids and
+are property-tested to agree with the literal formulas.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.collectives.cost import (
+    CollectiveCost,
+    allgather_bruck,
+    allreduce_ring,
+    halo_exchange,
+)
+from repro.core.strategy import Placement, ProcessGrid, Strategy
+from repro.errors import StrategyError
+from repro.machine.params import MachineParams
+from repro.nn.network import NetworkSpec, WeightedLayer
+
+__all__ = [
+    "CostTerm",
+    "CostBreakdown",
+    "model_parallel_cost",
+    "batch_parallel_cost",
+    "domain_parallel_cost",
+    "integrated_mb_cost",
+    "integrated_cost",
+    "BATCH_CATEGORIES",
+    "MODEL_CATEGORIES",
+    "DOMAIN_CATEGORIES",
+]
+
+BATCH_CATEGORIES = ("batch.allreduce_dw",)
+MODEL_CATEGORIES = ("model.allgather_fwd", "model.allreduce_dx")
+DOMAIN_CATEGORIES = ("domain.halo_fwd", "domain.halo_bwd")
+
+
+@dataclasses.dataclass(frozen=True)
+class CostTerm:
+    """One communication contribution of one layer.
+
+    ``volume`` is the per-process communication volume in elements
+    (the quantity Eq. 5 compares); ``cost`` is its alpha-beta time.
+    """
+
+    layer: str
+    layer_index: int
+    category: str
+    cost: CollectiveCost
+    volume: float
+
+    @property
+    def time(self) -> float:
+        return self.cost.total
+
+
+@dataclasses.dataclass(frozen=True)
+class CostBreakdown:
+    """A bag of :class:`CostTerm` records with aggregation helpers."""
+
+    terms: Tuple[CostTerm, ...]
+
+    @property
+    def total(self) -> float:
+        """Total communication time in seconds."""
+        return sum(t.cost.total for t in self.terms)
+
+    @property
+    def latency(self) -> float:
+        return sum(t.cost.latency for t in self.terms)
+
+    @property
+    def bandwidth(self) -> float:
+        return sum(t.cost.bandwidth for t in self.terms)
+
+    @property
+    def volume(self) -> float:
+        """Total communication volume in elements."""
+        return sum(t.volume for t in self.terms)
+
+    def by_category(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for t in self.terms:
+            out[t.category] = out.get(t.category, 0.0) + t.cost.total
+        return out
+
+    def by_layer(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for t in self.terms:
+            out[t.layer] = out.get(t.layer, 0.0) + t.cost.total
+        return out
+
+    def filter(self, *categories: str) -> "CostBreakdown":
+        """Keep terms whose category matches any prefix in ``categories``."""
+        kept = tuple(
+            t for t in self.terms if any(t.category.startswith(c) for c in categories)
+        )
+        return CostBreakdown(kept)
+
+    @property
+    def batch_time(self) -> float:
+        """Time in weight-gradient all-reduces (the cross-hatched bars)."""
+        return self.filter(*BATCH_CATEGORIES).total
+
+    @property
+    def model_time(self) -> float:
+        """Time in model-parallel all-gathers/all-reduces."""
+        return self.filter(*MODEL_CATEGORIES).total
+
+    @property
+    def domain_time(self) -> float:
+        """Time in domain-parallel halo exchanges."""
+        return self.filter(*DOMAIN_CATEGORIES).total
+
+    def __add__(self, other: "CostBreakdown") -> "CostBreakdown":
+        return CostBreakdown(self.terms + other.terms)
+
+
+def _term(layer: WeightedLayer, category: str, cost: CollectiveCost, volume: float) -> CostTerm:
+    return CostTerm(layer.name, layer.index, category, cost, volume)
+
+
+def _model_layer_terms(
+    layer: WeightedLayer,
+    first_weighted: bool,
+    batch: float,
+    grid: ProcessGrid,
+    machine: MachineParams,
+) -> List[CostTerm]:
+    """Eq. 8 contributions of one layer placed with ``Placement.MODEL``."""
+    pr, pc = grid.pr, grid.pc
+    local_batch = batch / pc
+    terms: List[CostTerm] = []
+    # Forward all-gather of Y_i over the Pr group (absent when Pr == 1:
+    # pure batch parallelism needs no forward communication, Fig. 2).
+    if pr > 1:
+        ag_n = local_batch * layer.d_out
+        cost = allgather_bruck(pr, ag_n, machine)
+        terms.append(_term(layer, "model.allgather_fwd", cost, ag_n * (pr - 1) / pr))
+        # Backward all-reduce of dX over the Pr group; the paper's sum
+        # starts at i = 2 because no gradient flows past the first layer.
+        if not first_weighted:
+            ar_n = local_batch * layer.d_in
+            cost = allreduce_ring(pr, ar_n, machine)
+            terms.append(
+                _term(layer, "model.allreduce_dx", cost, 2 * ar_n * (pr - 1) / pr)
+            )
+    # Weight-gradient all-reduce over the Pc group; volume |W_i| / Pr.
+    # Absent when Pc == 1: each process already holds the full batch, so
+    # its partial dW is the total (Eq. 3 has no dW term).
+    if pc > 1:
+        dw_n = layer.weights / pr
+        cost = allreduce_ring(pc, dw_n, machine)
+        terms.append(_term(layer, "batch.allreduce_dw", cost, 2 * dw_n * (pc - 1) / pc))
+    return terms
+
+
+def _domain_layer_terms(
+    layer: WeightedLayer,
+    batch: float,
+    grid: ProcessGrid,
+    machine: MachineParams,
+) -> List[CostTerm]:
+    """Eq. 9 ``LD`` contributions of one domain-parallel layer."""
+    if layer.is_fc:
+        raise StrategyError(
+            f"layer {layer.name!r} is fully connected; domain parallelism is "
+            "not applicable there (the halo would span the whole input — "
+            "paper Section 2.4)"
+        )
+    pr, pc = grid.pr, grid.pc
+    p = grid.p
+    local_batch = batch / pc
+    terms: List[CostTerm] = []
+    # Forward halo: floor(k_h/2) boundary rows of the input activation,
+    # exchanged pairwise.  Zero (including latency) for 1x1 convolutions.
+    if pr > 1:
+        fwd_n = local_batch * layer.in_shape.width * layer.in_shape.channels * layer.halo_rows
+        if fwd_n > 0:
+            terms.append(_term(layer, "domain.halo_fwd", halo_exchange(fwd_n, machine), fwd_n))
+        bwd_n = local_batch * layer.out_shape.width * layer.out_shape.channels * layer.halo_cols
+        if bwd_n > 0:
+            terms.append(_term(layer, "domain.halo_bwd", halo_exchange(bwd_n, machine), bwd_n))
+    # Weight gradients: the model is fully replicated on all P processes,
+    # so the all-reduce spans P with the full |W_i| volume.
+    if p > 1:
+        cost = allreduce_ring(p, layer.weights, machine)
+        terms.append(
+            _term(layer, "batch.allreduce_dw", cost, 2 * layer.weights * (p - 1) / p)
+        )
+    return terms
+
+
+def _batch_layer_terms(
+    layer: WeightedLayer, batch: float, grid: ProcessGrid, machine: MachineParams
+) -> List[CostTerm]:
+    """Pure-batch contribution (Eq. 4) of a layer run on a ``1 x P`` grid."""
+    p = grid.p
+    if p > batch:
+        raise StrategyError(
+            f"layer {layer.name!r} is placed pure batch over P={p} processes "
+            f"but the batch is only {batch} (fewer than one sample each); "
+            "scale past P=B with domain or model parallelism (Sec. 2.4)"
+        )
+    if p == 1:
+        return []
+    cost = allreduce_ring(p, layer.weights, machine)
+    return [
+        _term(layer, "batch.allreduce_dw", cost, 2 * layer.weights * (p - 1) / p)
+    ]
+
+
+def integrated_cost(
+    network: NetworkSpec,
+    batch: float,
+    strategy: Strategy,
+    machine: MachineParams,
+) -> CostBreakdown:
+    """Eq. 9: per-iteration communication cost of an arbitrary strategy.
+
+    Each weighted layer contributes according to its placement:
+    ``MODEL`` layers follow the 1.5D terms of Eq. 8, ``DOMAIN`` layers
+    the halo + full-replication terms of Eq. 9's ``LD`` sums, and
+    ``BATCH`` layers run pure batch parallel over all ``P`` processes
+    (the Fig. 7 configuration; grid switching between layers is
+    asymptotically free, Eq. 6).
+
+    With all layers in ``LM`` this is exactly Eq. 8; with a ``P x 1``
+    grid it degenerates to Eq. 3 (pure model) and with ``1 x P`` to
+    Eq. 4 (pure batch) — identities enforced by the test suite.
+    """
+    strategy.check_matches(network)
+    if batch <= 0:
+        raise StrategyError(f"batch size must be positive, got {batch}")
+    if strategy.grid.pc > batch:
+        raise StrategyError(
+            f"batch {batch} cannot be split over Pc={strategy.grid.pc} "
+            "(fewer than one sample per batch group); use domain or model "
+            "parallelism to scale beyond the batch size (paper Section 2.4)"
+        )
+    terms: List[CostTerm] = []
+    for layer, placement in zip(network.weighted_layers, strategy.placements):
+        first = layer.index == 1
+        if placement is Placement.MODEL:
+            terms.extend(_model_layer_terms(layer, first, batch, strategy.grid, machine))
+        elif placement is Placement.DOMAIN:
+            terms.extend(_domain_layer_terms(layer, batch, strategy.grid, machine))
+        else:
+            terms.extend(_batch_layer_terms(layer, batch, strategy.grid, machine))
+    return CostBreakdown(tuple(terms))
+
+
+def integrated_mb_cost(
+    network: NetworkSpec,
+    batch: float,
+    grid: ProcessGrid,
+    machine: MachineParams,
+) -> CostBreakdown:
+    """Eq. 8: integrated model+batch 1.5D cost with one grid for all layers."""
+    return integrated_cost(
+        network, batch, Strategy.same_grid_model(network, grid), machine
+    )
+
+
+def model_parallel_cost(
+    network: NetworkSpec, batch: float, p: int, machine: MachineParams
+) -> CostBreakdown:
+    """Eq. 3: pure model parallelism (``P x 1`` grid, all layers in LM)."""
+    return integrated_mb_cost(network, batch, ProcessGrid.pure_model(p), machine)
+
+
+def batch_parallel_cost(
+    network: NetworkSpec, p: int, machine: MachineParams, *, batch: float | None = None
+) -> CostBreakdown:
+    """Eq. 4: pure batch parallelism.
+
+    The cost is independent of the batch size (for ``P >> 1`` the
+    bandwidth term is just ``2 beta |W|``); ``batch`` is accepted only
+    to validate that the configuration is feasible (``B >= P``).
+    """
+    grid = ProcessGrid.pure_batch(p)
+    b = float(batch) if batch is not None else float(p)
+    return integrated_mb_cost(network, b, grid, machine)
+
+
+def domain_parallel_cost(
+    network: NetworkSpec, batch: float, p: int, machine: MachineParams
+) -> CostBreakdown:
+    """Eq. 7: pure domain parallelism (``P x 1`` grid, all layers in LD).
+
+    Only meaningful for all-convolutional prefixes; FC layers reject
+    domain placement, so this helper evaluates the convolutional layers
+    under domain parallelism and the FC layers as pure batch (fully
+    replicated weights), which reproduces Eq. 7's weight term
+    ``2 sum_i (alpha ceil(log P) + beta (P-1)/P |W_i|)`` for every
+    layer while charging halos only where convolutions exist.
+    """
+    strategy = Strategy(
+        ProcessGrid(p, 1),
+        tuple(
+            Placement.DOMAIN if w.is_conv else Placement.BATCH
+            for w in network.weighted_layers
+        ),
+    )
+    return integrated_cost(network, batch, strategy, machine)

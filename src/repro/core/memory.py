@@ -1,0 +1,79 @@
+"""Per-process memory footprint of a strategy (paper Section 4).
+
+"Solutions that exploit pure data parallelism often replicate the whole
+model in each node.  By contrast, the 1.5D matrix-multiplication
+algorithms used by our integrated parallel approach cut down the model
+replication cost by a factor of ``Pr``, at the cost of an increase in
+data replication by a factor of ``Pc``. [...] our memory costs are
+simply a linear combination of the memory costs of these two extremes."
+
+Per process, for a network with total weights ``|W|`` and per-sample
+activation footprint ``sum_i d_i``:
+
+* ``MODEL``-placed layer: weights ``|W_i| / Pr`` (plus the same again
+  for gradients), activations ``B/Pc * d_i`` — but the forward
+  all-gather materialises the full ``B/Pc x d_i`` output on every rank
+  of the ``Pr`` group, so activations are replicated ``Pr`` times
+  relative to a 2D layout.
+* ``BATCH``/``DOMAIN``-placed layer: full ``|W_i|`` weights replicated;
+  activations ``B/Pc * d_i`` (domain layers further divide the spatial
+  extent by ``Pr``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.strategy import Placement, Strategy
+from repro.nn.network import NetworkSpec
+
+__all__ = ["MemoryFootprint", "memory_footprint"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryFootprint:
+    """Per-process element counts (multiply by element size for bytes)."""
+
+    weights: float
+    weight_gradients: float
+    activations: float
+
+    @property
+    def total(self) -> float:
+        return self.weights + self.weight_gradients + self.activations
+
+    def bytes(self, element_bytes: int = 4) -> float:
+        return self.total * element_bytes
+
+
+def memory_footprint(
+    network: NetworkSpec, batch: float, strategy: Strategy
+) -> MemoryFootprint:
+    """Per-process memory element counts under ``strategy``.
+
+    Activation accounting charges each weighted layer its *output*
+    activations plus the network input once; intermediate unweighted
+    layers (pooling etc.) are shape-preserving or shrinking and are
+    dominated by these.
+    """
+    strategy.check_matches(network)
+    grid = strategy.grid
+    pr, pc = grid.pr, grid.pc
+    local_batch = batch / pc
+
+    weights = 0.0
+    activations = local_batch * network.weighted_layers[0].d_in  # input data share
+    for layer, placement in zip(network.weighted_layers, strategy.placements):
+        if placement is Placement.MODEL:
+            weights += layer.weights / pr
+            # Forward all-gather replicates the full output on the Pr group.
+            activations += local_batch * layer.d_out
+        elif placement is Placement.DOMAIN:
+            weights += layer.weights
+            activations += local_batch * layer.d_out / pr
+        else:  # BATCH: weights fully replicated, batch split over all P
+            weights += layer.weights
+            activations += (batch / grid.p) * layer.d_out
+    return MemoryFootprint(
+        weights=weights, weight_gradients=weights, activations=activations
+    )

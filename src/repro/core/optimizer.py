@@ -1,0 +1,268 @@
+"""Strategy search: pick the best ``Pr x Pc`` grid and layer placements.
+
+The paper's framework "automatically selects the best configuration to
+distribute the model and batch parallel work given a fixed batch size on
+``P`` processes" (Section 2.3) and notes that "the choice of whether to
+partition the model or the domain can be made by computing the
+communication complexity" (Section 2.4).  This module implements both:
+
+* :func:`enumerate_grids` / :func:`evaluate_grids` — score every grid
+  factorisation of ``P`` under a strategy family (the x-axis of the
+  Fig. 6-10 bar charts);
+* :func:`best_strategy` — full search over grids and per-layer
+  placements with optional constraints (convolutions forced pure batch,
+  domain parallelism enabled, a maximum batch-parallel width in light of
+  large-batch accuracy concerns — Section 4's "guidance on how to
+  choose the right parallelization parameters if the user decides to
+  limit the maximum allowable batch parallelism").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.costs import integrated_cost
+from repro.core.memory import memory_footprint
+from repro.core.simulate import SimulationPoint, simulate_epoch
+from repro.core.strategy import Placement, ProcessGrid, Strategy
+from repro.errors import ConfigurationError, StrategyError
+from repro.machine.compute import ComputeModel
+from repro.machine.params import MachineParams
+from repro.nn.network import NetworkSpec
+
+__all__ = [
+    "GridChoice",
+    "enumerate_grids",
+    "evaluate_grids",
+    "best_strategy",
+    "optimal_placements",
+]
+
+StrategyFamily = Callable[[NetworkSpec, ProcessGrid], Strategy]
+
+
+@dataclasses.dataclass(frozen=True)
+class GridChoice:
+    """A scored candidate strategy."""
+
+    point: SimulationPoint
+
+    @property
+    def strategy(self) -> Strategy:
+        return self.point.strategy
+
+    @property
+    def grid(self) -> ProcessGrid:
+        return self.point.strategy.grid
+
+    @property
+    def total_epoch(self) -> float:
+        return self.point.total_epoch
+
+    @property
+    def comm_epoch(self) -> float:
+        return self.point.comm_epoch
+
+
+def enumerate_grids(
+    p: int, *, batch: Optional[float] = None, max_pc: Optional[int] = None
+) -> Tuple[ProcessGrid, ...]:
+    """Grid factorisations of ``P``, filtered to feasible batch splits.
+
+    ``batch`` (when given) drops grids with ``Pc > B`` — fewer than one
+    sample per batch group; ``max_pc`` caps batch-parallel width (the
+    Section 4 accuracy constraint).
+    """
+    grids = ProcessGrid.factorizations(p)
+    if batch is not None:
+        grids = tuple(g for g in grids if g.pc <= batch)
+    if max_pc is not None:
+        if max_pc < 1:
+            raise ConfigurationError(f"max_pc must be >= 1, got {max_pc}")
+        grids = tuple(g for g in grids if g.pc <= max_pc)
+    if not grids:
+        raise StrategyError(
+            f"no feasible grid for P={p}"
+            + (f", B={batch}" if batch is not None else "")
+            + (f", max_pc={max_pc}" if max_pc is not None else "")
+        )
+    return grids
+
+
+def evaluate_grids(
+    network: NetworkSpec,
+    batch: float,
+    p: int,
+    machine: MachineParams,
+    compute: ComputeModel,
+    *,
+    family: StrategyFamily = Strategy.same_grid_model,
+    overlap: bool = False,
+    max_pc: Optional[int] = None,
+    dataset_size: Optional[int] = None,
+) -> Tuple[SimulationPoint, ...]:
+    """Simulate one epoch for every feasible grid of ``P`` under ``family``.
+
+    ``family`` maps ``(network, grid) -> Strategy``; the built-in
+    families are :meth:`Strategy.same_grid_model` (Fig. 6/9),
+    :meth:`Strategy.conv_batch_fc_model` (Fig. 7/8) and
+    :meth:`Strategy.conv_domain_fc_model` (Fig. 10).  Grids a family
+    rejects (e.g. pure-batch infeasible splits) are skipped.
+    """
+    points: List[SimulationPoint] = []
+    for grid in enumerate_grids(p, batch=batch, max_pc=max_pc):
+        try:
+            strategy = family(network, grid)
+            point = simulate_epoch(
+                network,
+                batch,
+                strategy,
+                machine,
+                compute,
+                overlap=overlap,
+                dataset_size=dataset_size,
+            )
+        except StrategyError:
+            continue
+        points.append(point)
+    if not points:
+        raise StrategyError(f"no grid of P={p} admits the requested strategy family")
+    return tuple(points)
+
+
+def optimal_placements(
+    network: NetworkSpec,
+    batch: float,
+    grid: ProcessGrid,
+    machine: MachineParams,
+    *,
+    allow_domain: bool = True,
+) -> Strategy:
+    """Per-layer optimal placement for a fixed grid (paper Section 2.4).
+
+    "The choice of whether to partition the model or the domain can be
+    made by computing the communication complexity" — and because the
+    Eq. 9 cost is separable per layer (a property the test suite
+    enforces), minimising each layer's own contribution yields the
+    globally optimal placement for the grid.  Each weighted layer is
+    scored under MODEL (Eq. 8 terms), BATCH (pure Eq. 4 over all P) and
+    — for convolutional layers — DOMAIN (Eq. 9 LD terms), and the
+    cheapest wins.
+    """
+    if batch <= 0:
+        raise StrategyError(f"batch must be positive, got {batch}")
+    if grid.pc > batch:
+        raise StrategyError(
+            f"grid {grid} splits the batch {batch} over Pc={grid.pc} groups "
+            "(fewer than one sample each)"
+        )
+    placements: List[Placement] = []
+    candidates_base = [Placement.MODEL, Placement.BATCH]
+    for w in network.weighted_layers:
+        candidates = list(candidates_base)
+        if allow_domain and w.is_conv:
+            candidates.append(Placement.DOMAIN)
+        best_pl, best_cost = None, None
+        for pl in candidates:
+            if pl is Placement.BATCH and grid.p > batch:
+                continue  # pure batch infeasible past P = B
+            trial = Strategy(
+                grid,
+                tuple(
+                    pl if i == w.index - 1 else Placement.MODEL
+                    for i in range(network.num_weighted)
+                ),
+            )
+            cost = integrated_cost(network, batch, trial, machine).by_layer().get(w.name, 0.0)
+            if best_cost is None or cost < best_cost:
+                best_pl, best_cost = pl, cost
+        if best_pl is None:
+            raise StrategyError(
+                f"no feasible placement for layer {w.name!r} at grid {grid}, B={batch}"
+            )
+        placements.append(best_pl)
+    return Strategy(grid, tuple(placements))
+
+
+def best_strategy(
+    network: NetworkSpec,
+    batch: float,
+    p: int,
+    machine: MachineParams,
+    compute: ComputeModel,
+    *,
+    allow_domain: bool = True,
+    conv_pure_batch: bool = False,
+    overlap: bool = False,
+    max_pc: Optional[int] = None,
+    dataset_size: Optional[int] = None,
+    max_memory_elements: Optional[float] = None,
+    per_layer: bool = True,
+) -> GridChoice:
+    """Search grids x placement families for the lowest epoch time.
+
+    The candidate families follow the paper's evaluation: same-grid
+    model everywhere (Fig. 6), convs-pure-batch + FC 1.5D (Fig. 7),
+    (when ``allow_domain``) convs-domain + FC 1.5D (Fig. 10), and —
+    when ``per_layer`` — the exact per-layer optimum of
+    :func:`optimal_placements`, which dominates the fixed families.
+
+    ``max_memory_elements`` applies the Section-4 memory constraint:
+    strategies whose per-process footprint (weights + gradients +
+    activations, in elements) exceeds the cap are discarded — "memory
+    consumption optimality might be a legitimate concern depending on
+    the platform and the DNN model size".
+    """
+    families: List[StrategyFamily] = [Strategy.same_grid_model]
+    if conv_pure_batch:
+        families = [Strategy.conv_batch_fc_model]
+    else:
+        families.append(Strategy.conv_batch_fc_model)
+    if allow_domain and any(w.is_conv for w in network.weighted_layers):
+        families.append(Strategy.conv_domain_fc_model)
+    if per_layer and not conv_pure_batch:
+        families.append(
+            lambda net, grid: optimal_placements(
+                net, batch, grid, machine, allow_domain=allow_domain
+            )
+        )
+
+    def memory_ok(pt: SimulationPoint) -> bool:
+        if max_memory_elements is None:
+            return True
+        fp = memory_footprint(network, batch, pt.strategy)
+        return fp.total <= max_memory_elements
+
+    best: Optional[SimulationPoint] = None
+    for family in families:
+        try:
+            points = evaluate_grids(
+                network,
+                batch,
+                p,
+                machine,
+                compute,
+                family=family,
+                overlap=overlap,
+                max_pc=max_pc,
+                dataset_size=dataset_size,
+            )
+        except StrategyError:
+            continue
+        feasible = [pt for pt in points if memory_ok(pt)]
+        if not feasible:
+            continue
+        candidate = min(feasible, key=lambda pt: pt.total_epoch)
+        if best is None or candidate.total_epoch < best.total_epoch:
+            best = candidate
+    if best is None:
+        raise StrategyError(
+            f"no feasible strategy for P={p}, B={batch} on {network.name!r}"
+            + (
+                f" within {max_memory_elements:.3g} elements of memory"
+                if max_memory_elements is not None
+                else ""
+            )
+        )
+    return GridChoice(best)

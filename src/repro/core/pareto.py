@@ -1,0 +1,115 @@
+"""Communication-vs-memory Pareto analysis (paper Section 4).
+
+"Due to DNN training being computationally intensive, memory
+considerations have been secondary to performance. [...] The main
+advantage of 2D algorithms over the 1.5D algorithm is that their memory
+consumption is optimal [...] Memory consumption optimality might be a
+legitimate concern depending on the platform and the DNN model size."
+
+This module makes the trade-off explicit: for a fixed ``(P, B)`` it
+evaluates every grid under the candidate strategy families and returns
+the Pareto frontier over (communication time, per-process memory) —
+the configurations a practitioner would actually choose among when the
+model does or does not fit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from repro.core.costs import integrated_cost
+from repro.core.memory import memory_footprint
+from repro.core.optimizer import enumerate_grids, optimal_placements
+from repro.core.results import ResultTable
+from repro.core.strategy import Strategy
+from repro.errors import StrategyError
+from repro.machine.params import MachineParams
+from repro.nn.network import NetworkSpec
+
+__all__ = ["ParetoPoint", "comm_memory_frontier"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ParetoPoint:
+    """One strategy with its two objective values."""
+
+    strategy: Strategy
+    comm_time: float
+    memory_elements: float
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """Strictly better in one objective, no worse in the other."""
+        le = (
+            self.comm_time <= other.comm_time
+            and self.memory_elements <= other.memory_elements
+        )
+        lt = (
+            self.comm_time < other.comm_time
+            or self.memory_elements < other.memory_elements
+        )
+        return le and lt
+
+
+def comm_memory_frontier(
+    network: NetworkSpec,
+    batch: float,
+    p: int,
+    machine: MachineParams,
+    *,
+    allow_domain: bool = True,
+) -> Tuple[List[ParetoPoint], ResultTable]:
+    """Non-dominated (comm, memory) strategies over all grids of ``P``.
+
+    Candidates: for every feasible grid, the three fixed families plus
+    the per-layer optimum.  Returns the frontier sorted by memory
+    (ascending) — so it runs from "2D-like, memory-lean, comm-heavy" to
+    "replicated, memory-hungry, comm-lean", the spectrum Section 4
+    describes — plus a printable table flagging frontier membership.
+    """
+    candidates: List[ParetoPoint] = []
+    seen = set()
+    for grid in enumerate_grids(p, batch=batch):
+        strategies = [Strategy.same_grid_model(network, grid)]
+        try:
+            strategies.append(optimal_placements(
+                network, batch, grid, machine, allow_domain=allow_domain
+            ))
+        except StrategyError:
+            pass
+        for family in (Strategy.conv_batch_fc_model, Strategy.conv_domain_fc_model):
+            try:
+                strategies.append(family(network, grid))
+            except StrategyError:
+                continue
+        for strategy in strategies:
+            key = (strategy.grid, strategy.placements)
+            if key in seen:
+                continue
+            seen.add(key)
+            try:
+                comm = integrated_cost(network, batch, strategy, machine).total
+            except StrategyError:
+                continue
+            memory = memory_footprint(network, batch, strategy).total
+            candidates.append(ParetoPoint(strategy, comm, memory))
+
+    frontier = [
+        pt
+        for pt in candidates
+        if not any(other.dominates(pt) for other in candidates)
+    ]
+    frontier.sort(key=lambda pt: (pt.memory_elements, pt.comm_time))
+
+    table = ResultTable(
+        f"Comm/memory Pareto frontier, P={p}, B={batch} ({network.name})"
+    )
+    frontier_keys = {(pt.strategy.grid, pt.strategy.placements) for pt in frontier}
+    for pt in sorted(candidates, key=lambda q: q.memory_elements):
+        table.add_row(
+            strategy=pt.strategy.describe(),
+            comm_per_iter_s=pt.comm_time,
+            memory_Melements=round(pt.memory_elements / 1e6, 2),
+            on_frontier=(pt.strategy.grid, pt.strategy.placements) in frontier_keys,
+        )
+    return frontier, table

@@ -1,0 +1,58 @@
+"""Eq. 6: the cost of switching process grids between layers.
+
+Moving from the batch-parallel distribution (Fig. 2) to the model
+parallel one (Fig. 1) for layer ``i`` requires one all-gather of the
+layer's input activations:
+
+.. math::
+
+    T(\\text{redistribute}) = \\alpha \\lceil \\log P \\rceil
+        + \\beta B \\frac{P-1}{P} d_i
+
+The paper's key observation is that this is *asymptotically free*: the
+subsequent model-parallel step communicates three times as much (one
+forward all-gather plus a double-cost backward all-reduce on the same
+volume), so per-layer grid switching — the mechanism behind the
+"improved" Fig. 7 configuration and the Eq. 9 LM/LD mix — adds at most
+a constant factor ~1/3.  The same argument covers switching between a
+``1 x P`` grid and a balanced ``sqrt(P) x sqrt(P)`` grid (Section 2.3).
+"""
+
+from __future__ import annotations
+
+from repro.collectives.cost import CollectiveCost, allgather_bruck
+from repro.errors import ConfigurationError
+from repro.machine.params import MachineParams
+from repro.nn.network import WeightedLayer
+
+__all__ = ["redistribution_cost", "redistribution_relative_overhead"]
+
+
+def redistribution_cost(
+    layer: WeightedLayer, batch: float, p: int, machine: MachineParams
+) -> CollectiveCost:
+    """Eq. 6: all-gather of ``X_i`` when switching batch -> model at layer ``i``.
+
+    ``d_i`` here is the activation count *entering* the layer (the data
+    being re-replicated).
+    """
+    if batch <= 0:
+        raise ConfigurationError(f"batch must be positive, got {batch}")
+    return allgather_bruck(p, batch * layer.d_in, machine)
+
+
+def redistribution_relative_overhead(
+    layer: WeightedLayer, batch: float, p: int, machine: MachineParams
+) -> float:
+    """Redistribution time relative to the layer's model-parallel comm time.
+
+    The paper bounds this by ~1/3 ("the subsequent model parallel step
+    has communication cost that is three times of the cost of the
+    redistribution"): the model-parallel step all-gathers ``B d_i`` once
+    forward and all-reduces ``B d_i`` (factor 2) backward.
+    """
+    redist = redistribution_cost(layer, batch, p, machine).total
+    model_step = 3.0 * allgather_bruck(p, batch * layer.d_in, machine).total
+    if model_step == 0.0:
+        return 0.0
+    return redist / model_step

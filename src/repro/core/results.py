@@ -1,0 +1,105 @@
+"""Result records for experiment outputs.
+
+A :class:`ResultTable` is a small ordered-columns table used by every
+experiment module: rows are appended as dicts, columns keep insertion
+order, and the table renders to aligned ASCII, CSV, or a JSON-friendly
+structure.  Keeping this in ``core`` (rather than ``report``) lets cost
+studies return machine-readable results without importing the rendering
+layer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ResultTable"]
+
+
+class ResultTable:
+    """An append-only table with ordered, dynamically discovered columns."""
+
+    def __init__(self, title: str = "", columns: Optional[Sequence[str]] = None) -> None:
+        self.title = title
+        self._columns: List[str] = list(columns) if columns else []
+        self._rows: List[Dict[str, Any]] = []
+
+    def add_row(self, **values: Any) -> None:
+        for key in values:
+            if key not in self._columns:
+                self._columns.append(key)
+        self._rows.append(dict(values))
+
+    def extend(self, rows: Iterable[Mapping[str, Any]]) -> None:
+        for row in rows:
+            self.add_row(**row)
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return tuple(self._columns)
+
+    @property
+    def rows(self) -> Tuple[Dict[str, Any], ...]:
+        return tuple(dict(r) for r in self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def column(self, name: str) -> Tuple[Any, ...]:
+        if name not in self._columns:
+            raise ConfigurationError(f"unknown column {name!r}")
+        return tuple(row.get(name) for row in self._rows)
+
+    # -- rendering -----------------------------------------------------------
+
+    @staticmethod
+    def _fmt(value: Any) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1e5 or abs(value) < 1e-3:
+                return f"{value:.3e}"
+            return f"{value:.4g}"
+        return str(value)
+
+    def to_ascii(self) -> str:
+        """Aligned fixed-width rendering with the title as a header."""
+        headers = self._columns
+        cells = [[self._fmt(row.get(c)) for c in headers] for row in self._rows]
+        widths = [
+            max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+            for i, h in enumerate(headers)
+        ]
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        def esc(v: Any) -> str:
+            s = "" if v is None else str(v)
+            if any(ch in s for ch in ",\"\n"):
+                s = '"' + s.replace('"', '""') + '"'
+            return s
+
+        lines = [",".join(esc(c) for c in self._columns)]
+        for row in self._rows:
+            lines.append(",".join(esc(row.get(c)) for c in self._columns))
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"title": self.title, "columns": list(self._columns), "rows": self.rows}
+
+    def to_json(self, **kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), default=str, **kwargs)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.to_ascii()

@@ -1,0 +1,122 @@
+"""Iteration/epoch time simulation (paper Section 3).
+
+Combines the analytic communication costs (Eqs. 3-9) with the measured
+compute model exactly as the paper does: per-iteration total time is
+``T_comm(strategy) + T_compute(B, P)``; epoch time multiplies by the
+``N / B`` iterations of one pass over the training set; Fig. 8's
+perfect-overlap variant hides the backprop share of communication
+behind compute.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.core.costs import CostBreakdown, integrated_cost
+from repro.core.overlap import overlapped_time
+from repro.core.strategy import Strategy
+from repro.errors import ConfigurationError
+from repro.machine.compute import ComputeModel
+from repro.machine.params import MachineParams
+from repro.nn.network import NetworkSpec
+
+__all__ = ["IterationCost", "SimulationPoint", "simulate_iteration", "simulate_epoch"]
+
+
+@dataclasses.dataclass(frozen=True)
+class IterationCost:
+    """Timing decomposition of one SGD iteration under a strategy."""
+
+    strategy: Strategy
+    batch: float
+    comm: CostBreakdown
+    compute_time: float
+    overlap: bool = False
+
+    @property
+    def comm_time(self) -> float:
+        return self.comm.total
+
+    @property
+    def batch_comm_time(self) -> float:
+        """The cross-hatched portion of the paper's bars (dW all-reduce)."""
+        return self.comm.batch_time
+
+    @property
+    def total(self) -> float:
+        if self.overlap:
+            return overlapped_time(self.comm.total, self.compute_time)
+        return self.comm.total + self.compute_time
+
+
+@dataclasses.dataclass(frozen=True)
+class SimulationPoint:
+    """One bar of a paper figure: a strategy evaluated over a full epoch."""
+
+    strategy: Strategy
+    batch: float
+    processes: int
+    iterations_per_epoch: float
+    iteration: IterationCost
+
+    @property
+    def comm_epoch(self) -> float:
+        return self.iteration.comm_time * self.iterations_per_epoch
+
+    @property
+    def batch_comm_epoch(self) -> float:
+        return self.iteration.batch_comm_time * self.iterations_per_epoch
+
+    @property
+    def compute_epoch(self) -> float:
+        return self.iteration.compute_time * self.iterations_per_epoch
+
+    @property
+    def total_epoch(self) -> float:
+        return self.iteration.total * self.iterations_per_epoch
+
+    @property
+    def label(self) -> str:
+        return str(self.strategy.grid)
+
+
+def simulate_iteration(
+    network: NetworkSpec,
+    batch: float,
+    strategy: Strategy,
+    machine: MachineParams,
+    compute: ComputeModel,
+    *,
+    overlap: bool = False,
+) -> IterationCost:
+    """Communication + compute time of one iteration under ``strategy``."""
+    comm = integrated_cost(network, batch, strategy, machine)
+    compute_time = compute.share_iteration_time(batch, strategy.grid.p)
+    return IterationCost(strategy, batch, comm, compute_time, overlap)
+
+
+def simulate_epoch(
+    network: NetworkSpec,
+    batch: float,
+    strategy: Strategy,
+    machine: MachineParams,
+    compute: ComputeModel,
+    *,
+    dataset_size: Optional[int] = None,
+    overlap: bool = False,
+) -> SimulationPoint:
+    """Epoch-level simulation: iteration cost times ``N / B`` iterations."""
+    n = dataset_size if dataset_size is not None else compute.table.dataset_size
+    if n <= 0:
+        raise ConfigurationError(f"dataset size must be positive, got {n}")
+    iteration = simulate_iteration(
+        network, batch, strategy, machine, compute, overlap=overlap
+    )
+    return SimulationPoint(
+        strategy=strategy,
+        batch=batch,
+        processes=strategy.grid.p,
+        iterations_per_epoch=n / batch,
+        iteration=iteration,
+    )

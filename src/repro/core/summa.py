@@ -1,0 +1,115 @@
+"""Section 4: 1.5D vs 2D SUMMA communication-volume comparison.
+
+The paper argues that 2D algorithms (Cannon, SUMMA) are memory optimal
+but never communication-favourable for the DNN products.  For the
+forward propagation ``Y = W X`` on a ``pr x pc`` grid, with
+``d_i = d_{i-1} = d`` and ``(pr-1)/pr ~ (pc-1)/pc ~ 1``:
+
+* **stationary-A SUMMA** (best 2D fit when ``|W| > B d``): volume
+  ``2 B d / pr + B d / pc`` words per process, versus the 1.5D
+  algorithm's ``B d / pc`` — it *approaches* 1.5D as ``pr >> pc`` but
+  never beats it.
+* when ``|W| < B d`` every 2D algorithm must communicate two of the
+  three matrices, so its volume is asymptotically higher than the 1.5D
+  algorithm's single smaller matrix.
+
+These closed forms power the ``summa_ablation`` experiment, which
+verifies "there is no regime where 2D becomes strictly favorable in
+terms of communication volume".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "summa_stationary_a_volume",
+    "summa_stationary_c_volume",
+    "volume_1p5d",
+    "SummaComparison",
+    "compare_1p5d_vs_summa",
+]
+
+
+def _check(d: float, batch: float, pr: int, pc: int) -> None:
+    if d <= 0 or batch <= 0:
+        raise ConfigurationError("matrix dimensions must be positive")
+    if pr < 1 or pc < 1:
+        raise ConfigurationError("grid dims must be >= 1")
+
+
+def volume_1p5d(d: float, batch: float, pr: int, pc: int) -> float:
+    """Per-process words moved by the 1.5D forward product ``Y = WX``.
+
+    Only the activation panel moves: ``(B / pc) * d * (pr - 1) / pr``
+    (the Fig. 5 all-gather).  With the paper's large-``pr``
+    approximation this is the ``B d / pc`` quoted in Section 4.
+    """
+    _check(d, batch, pr, pc)
+    return (batch / pc) * d * (pr - 1) / pr
+
+
+def summa_stationary_a_volume(d: float, batch: float, pr: int, pc: int) -> float:
+    """Per-process words moved by stationary-A SUMMA for ``Y = WX``.
+
+    A stays put; B-panels (``X``) are broadcast along one grid dimension
+    and C-panels (``Y``) reduced along the other.  Per Section 4 this
+    costs ``2 B d / pr + B d / pc`` words under the same approximations.
+    """
+    _check(d, batch, pr, pc)
+    return 2.0 * batch * d / pr + batch * d / pc
+
+
+def summa_stationary_c_volume(
+    d_out: float, d_in: float, batch: float, pr: int, pc: int
+) -> float:
+    """Per-process words moved by stationary-C SUMMA for ``Y = WX``.
+
+    The popular variant keeps the output stationary and streams equal
+    shares of both inputs: ``|W|/pr + B d_in / pc`` words with
+    ``|W| = d_out * d_in``.  Symmetric in the two inputs — a good fit
+    only "when matrices A and B are of comparable sizes" (Section 4).
+    """
+    _check(d_out, batch, pr, pc)
+    if d_in <= 0:
+        raise ConfigurationError("matrix dimensions must be positive")
+    return d_out * d_in / pr + batch * d_in / pc
+
+
+@dataclasses.dataclass(frozen=True)
+class SummaComparison:
+    """Volumes of the three algorithms for one layer configuration."""
+
+    d: float
+    batch: float
+    pr: int
+    pc: int
+    v_1p5d: float
+    v_summa_a: float
+    v_summa_c: float
+
+    @property
+    def ratio_a(self) -> float:
+        """stationary-A volume relative to 1.5D (>= 1 everywhere)."""
+        if self.v_1p5d == 0:
+            return float("inf") if self.v_summa_a > 0 else 1.0
+        return self.v_summa_a / self.v_1p5d
+
+    @property
+    def summa_ever_wins(self) -> bool:
+        return self.v_summa_a < self.v_1p5d or self.v_summa_c < self.v_1p5d
+
+
+def compare_1p5d_vs_summa(d: float, batch: float, pr: int, pc: int) -> SummaComparison:
+    """Evaluate all three volumes for a square-weight layer (``d_in = d_out = d``)."""
+    return SummaComparison(
+        d=d,
+        batch=batch,
+        pr=pr,
+        pc=pc,
+        v_1p5d=volume_1p5d(d, batch, pr, pc),
+        v_summa_a=summa_stationary_a_volume(d, batch, pr, pc),
+        v_summa_c=summa_stationary_c_volume(d, d, batch, pr, pc),
+    )

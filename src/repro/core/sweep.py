@@ -1,0 +1,152 @@
+"""Scaling-curve sweeps over process counts (strong) and batch sizes (weak).
+
+Where :mod:`repro.core.optimizer` scores the grids of a *single*
+``(P, B)`` point (one subfigure), this module strings points into the
+scaling curves the paper's narrative draws across subfigures: epoch
+time, speedup and parallel efficiency of the best integrated strategy
+versus pure batch parallelism as ``P`` grows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.optimizer import best_strategy
+from repro.core.results import ResultTable
+from repro.core.simulate import simulate_epoch
+from repro.core.strategy import ProcessGrid, Strategy
+from repro.errors import ConfigurationError
+from repro.machine.compute import ComputeModel
+from repro.machine.params import MachineParams
+from repro.nn.network import NetworkSpec
+
+__all__ = ["ScalingPoint", "strong_scaling_curve", "weak_scaling_curve"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalingPoint:
+    """One point of a scaling curve."""
+
+    processes: int
+    batch: float
+    best_label: str
+    best_total_s: float
+    pure_batch_total_s: Optional[float]
+
+    @property
+    def speedup_vs_pure_batch(self) -> Optional[float]:
+        if self.pure_batch_total_s is None:
+            return None
+        return self.pure_batch_total_s / self.best_total_s
+
+
+def _pure_batch_total(
+    network: NetworkSpec,
+    batch: float,
+    p: int,
+    machine: MachineParams,
+    compute: ComputeModel,
+    dataset_size: Optional[int],
+) -> Optional[float]:
+    if p > batch:
+        return None  # the pure-batch scaling limit (Section 2.4)
+    point = simulate_epoch(
+        network,
+        batch,
+        Strategy.same_grid_model(network, ProcessGrid(1, p)),
+        machine,
+        compute,
+        dataset_size=dataset_size,
+    )
+    return point.total_epoch
+
+
+def strong_scaling_curve(
+    network: NetworkSpec,
+    batch: float,
+    processes: Sequence[int],
+    machine: MachineParams,
+    compute: ComputeModel,
+    *,
+    dataset_size: Optional[int] = None,
+    **search_kwargs,
+) -> Tuple[List[ScalingPoint], ResultTable]:
+    """Fixed ``B``, growing ``P`` (the Fig. 6/7/10 axis, joined up).
+
+    Returns the points plus a ready-to-print table with the best
+    strategy, its epoch time, the pure-batch baseline (where feasible),
+    the speedup over it, and the parallel efficiency relative to the
+    first point.
+    """
+    if not processes:
+        raise ConfigurationError("need at least one process count")
+    points: List[ScalingPoint] = []
+    table = ResultTable(f"Strong scaling, B = {batch} ({network.name})")
+    base_total: Optional[float] = None
+    base_p: Optional[int] = None
+    for p in processes:
+        choice = best_strategy(
+            network, batch, p, machine, compute,
+            dataset_size=dataset_size, **search_kwargs,
+        )
+        pure = _pure_batch_total(network, batch, p, machine, compute, dataset_size)
+        point = ScalingPoint(
+            processes=p,
+            batch=batch,
+            best_label=choice.strategy.describe(),
+            best_total_s=choice.total_epoch,
+            pure_batch_total_s=pure,
+        )
+        points.append(point)
+        if base_total is None:
+            base_total, base_p = point.best_total_s, p
+        efficiency = (base_total * base_p) / (point.best_total_s * p)
+        table.add_row(
+            P=p,
+            best_strategy=point.best_label,
+            epoch_s=point.best_total_s,
+            pure_batch_s=pure,
+            speedup_vs_batch=point.speedup_vs_pure_batch,
+            parallel_efficiency=round(efficiency, 3),
+        )
+    return points, table
+
+
+def weak_scaling_curve(
+    network: NetworkSpec,
+    pairs: Sequence[Tuple[int, float]],
+    machine: MachineParams,
+    compute: ComputeModel,
+    *,
+    dataset_size: Optional[int] = None,
+    **search_kwargs,
+) -> Tuple[List[ScalingPoint], ResultTable]:
+    """``(P, B)`` growing together (the Fig. 9 axis, joined up)."""
+    if not pairs:
+        raise ConfigurationError("need at least one (P, B) pair")
+    points: List[ScalingPoint] = []
+    table = ResultTable(f"Weak scaling ({network.name})")
+    for p, batch in pairs:
+        choice = best_strategy(
+            network, batch, p, machine, compute,
+            dataset_size=dataset_size, **search_kwargs,
+        )
+        pure = _pure_batch_total(network, batch, p, machine, compute, dataset_size)
+        point = ScalingPoint(
+            processes=p,
+            batch=batch,
+            best_label=choice.strategy.describe(),
+            best_total_s=choice.total_epoch,
+            pure_batch_total_s=pure,
+        )
+        points.append(point)
+        table.add_row(
+            P=p,
+            B=int(batch),
+            best_strategy=point.best_label,
+            epoch_s=point.best_total_s,
+            pure_batch_s=pure,
+            speedup_vs_batch=point.speedup_vs_pure_batch,
+        )
+    return points, table

@@ -1,0 +1,97 @@
+"""Deterministic batch schedules shared by serial and distributed SGD.
+
+The paper's SGD draws batch indices "randomly (with replacement)"; for
+reproducible serial-vs-distributed equivalence both sides must draw the
+*same* indices, so schedules here are pure functions of ``(step, seed)``:
+
+* :class:`CyclicSchedule` — contiguous windows walking the dataset
+  (the default the trainers have always used);
+* :class:`ShuffledSchedule` — a fresh seeded permutation per epoch,
+  sampled without replacement within the epoch (the common practical
+  variant);
+* :class:`WithReplacementSchedule` — i.i.d. uniform draws per step,
+  Eq. 1's textbook sampling.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "BatchSchedule",
+    "CyclicSchedule",
+    "ShuffledSchedule",
+    "WithReplacementSchedule",
+]
+
+
+class BatchSchedule(abc.ABC):
+    """Maps a step index to the global sample indices of that batch."""
+
+    def __init__(self, dataset_size: int, batch: int) -> None:
+        if dataset_size < 1:
+            raise ConfigurationError(f"dataset size must be >= 1, got {dataset_size}")
+        if not 1 <= batch <= dataset_size:
+            raise ConfigurationError(
+                f"batch {batch} must lie in [1, {dataset_size}]"
+            )
+        self.dataset_size = dataset_size
+        self.batch = batch
+
+    @abc.abstractmethod
+    def columns(self, step: int) -> np.ndarray:
+        """Global sample indices for ``step`` (shape ``(batch,)``)."""
+
+
+class CyclicSchedule(BatchSchedule):
+    """Contiguous windows, wrapping around the dataset."""
+
+    def columns(self, step: int) -> np.ndarray:
+        return (step * self.batch + np.arange(self.batch)) % self.dataset_size
+
+
+class ShuffledSchedule(BatchSchedule):
+    """A seeded permutation per epoch, consumed in batch-size windows.
+
+    Epoch ``e`` uses ``default_rng(seed + e).permutation(N)``; every
+    rank reconstructs the identical permutation locally, so no
+    coordination is needed.
+    """
+
+    def __init__(self, dataset_size: int, batch: int, *, seed: int = 0) -> None:
+        super().__init__(dataset_size, batch)
+        self.seed = int(seed)
+        self._steps_per_epoch = dataset_size // batch
+        if self._steps_per_epoch < 1:
+            raise ConfigurationError("batch larger than dataset")
+        self._cache_epoch: int = -1
+        self._cache_perm: np.ndarray | None = None
+
+    def _permutation(self, epoch: int) -> np.ndarray:
+        if epoch != self._cache_epoch:
+            rng = np.random.default_rng(self.seed + epoch)
+            self._cache_perm = rng.permutation(self.dataset_size)
+            self._cache_epoch = epoch
+        return self._cache_perm  # type: ignore[return-value]
+
+    def columns(self, step: int) -> np.ndarray:
+        epoch, within = divmod(step, self._steps_per_epoch)
+        perm = self._permutation(epoch)
+        start = within * self.batch
+        return perm[start : start + self.batch].copy()
+
+
+class WithReplacementSchedule(BatchSchedule):
+    """Eq. 1's sampling: i.i.d. uniform indices per step (seeded)."""
+
+    def __init__(self, dataset_size: int, batch: int, *, seed: int = 0) -> None:
+        super().__init__(dataset_size, batch)
+        self.seed = int(seed)
+
+    def columns(self, step: int) -> np.ndarray:
+        rng = np.random.default_rng((self.seed, step))
+        return rng.integers(0, self.dataset_size, self.batch)

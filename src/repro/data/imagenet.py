@@ -1,0 +1,39 @@
+"""ImageNet LSVRC-2012 metadata (paper Table 1)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ImageNetMeta", "IMAGENET_LSVRC_2012"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ImageNetMeta:
+    """Dataset facts the simulation consumes."""
+
+    name: str
+    train_images: int
+    num_classes: int
+    image_size: int
+    channels: int = 3
+
+    def __post_init__(self) -> None:
+        if self.train_images <= 0 or self.num_classes <= 0 or self.image_size <= 0:
+            raise ConfigurationError("dataset metadata must be positive")
+
+    def iterations_per_epoch(self, batch: float) -> float:
+        """``N / B`` — the factor converting iteration time to epoch time."""
+        if batch <= 0:
+            raise ConfigurationError(f"batch must be positive, got {batch}")
+        return self.train_images / batch
+
+
+#: Table 1: "Training images: 1.2M, Number of categories: 1000".
+IMAGENET_LSVRC_2012 = ImageNetMeta(
+    name="ImageNet LSVRC-2012",
+    train_images=1_200_000,
+    num_classes=1000,
+    image_size=227,
+)

@@ -1,0 +1,70 @@
+"""Model evaluation: classification accuracy, serial and distributed.
+
+Training-loop counterparts need an inference path to report accuracy;
+this module provides one for both trainer families.  The distributed
+variant shards the evaluation batch over all ``P`` ranks (inference
+needs no gradient communication — only a final all-reduce of the
+correct-prediction counts), demonstrating the paper's observation that
+"the forward pass of batch parallel training needs no communication".
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.dist.partition import BlockPartition
+from repro.dist.train import MLPParams, _mlp_forward
+from repro.errors import ShapeError
+from repro.simmpi.engine import SimEngine, SimResult
+
+__all__ = ["mlp_predict", "mlp_accuracy", "distributed_mlp_accuracy"]
+
+
+def mlp_predict(params: MLPParams, x: np.ndarray) -> np.ndarray:
+    """Class predictions for ``x`` of shape ``(features, samples)``."""
+    if x.ndim != 2:
+        raise ShapeError(f"x must be (features, samples), got {x.shape}")
+    acts, zs = _mlp_forward(params.weights, x)
+    return np.argmax(zs[-1], axis=0)
+
+
+def mlp_accuracy(params: MLPParams, x: np.ndarray, y: np.ndarray) -> float:
+    """Fraction of samples classified correctly."""
+    if y.shape != (x.shape[1],):
+        raise ShapeError(f"y shape {y.shape} != ({x.shape[1]},)")
+    return float(np.mean(mlp_predict(params, x) == y))
+
+
+def _accuracy_program(comm, params: MLPParams, x: np.ndarray, y: np.ndarray):
+    """SPMD program: each rank scores its batch shard; counts all-reduce."""
+    part = BlockPartition(x.shape[1], comm.size)
+    xs = part.take(x, comm.rank, axis=1)
+    ys = part.take(y, comm.rank)
+    correct_local = float(np.sum(mlp_predict(params, xs) == ys)) if xs.size else 0.0
+    totals = comm.allreduce(
+        np.array([correct_local, float(len(ys))]), algorithm="ring"
+    )
+    return totals[0] / totals[1]
+
+
+def distributed_mlp_accuracy(
+    params: MLPParams,
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    p: int,
+    machine=None,
+) -> Tuple[float, SimResult]:
+    """Batch-sharded accuracy over ``p`` simulated ranks.
+
+    Returns ``(accuracy, run)``; the accuracy is identical on every rank
+    and equal to the serial :func:`mlp_accuracy` (the only communication
+    is a two-scalar all-reduce).
+    """
+    engine = SimEngine(p, machine)
+    result = engine.run(_accuracy_program, params, x, y)
+    values = set(round(v, 12) for v in result.values)
+    assert len(values) == 1, "accuracy must agree across ranks"
+    return float(result.values[0]), result

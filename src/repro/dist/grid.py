@@ -1,0 +1,61 @@
+"""Process-grid communicator bundle.
+
+Maps each world rank to coordinates ``(r, c)`` on a row-major
+``Pr x Pc`` grid (Fig. 5's ``P_ij`` indexing) and builds the two
+sub-communicators the 1.5D algorithm needs:
+
+* :attr:`GridComm.col_comm` — the ``Pr`` ranks sharing this rank's
+  batch column ``c`` (fixed ``c``, varying ``r``); carries the forward
+  all-gather of ``Y`` and the backward all-reduce of ``dX``.
+* :attr:`GridComm.row_comm` — the ``Pc`` ranks sharing this rank's
+  model row ``r`` (fixed ``r``, varying ``c``); carries the weight
+  gradient all-reduce.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+from repro.simmpi.communicator import Comm
+
+__all__ = ["GridComm"]
+
+
+class GridComm:
+    """A world communicator viewed as a ``Pr x Pc`` grid.
+
+    Parameters
+    ----------
+    comm:
+        The parent communicator; its size must equal ``pr * pc``.
+    pr, pc:
+        Grid extents (model/domain rows, batch columns).
+    """
+
+    def __init__(self, comm: Comm, pr: int, pc: int) -> None:
+        if pr < 1 or pc < 1:
+            raise ConfigurationError(f"grid dims must be >= 1, got {pr}x{pc}")
+        if comm.size != pr * pc:
+            raise ConfigurationError(
+                f"communicator size {comm.size} != Pr*Pc = {pr}*{pc} = {pr * pc}"
+            )
+        self.comm = comm
+        self.pr = pr
+        self.pc = pc
+        self.row, self.col = divmod(comm.rank, pc)
+        # Column group: same batch column c, ranks ordered by model row r.
+        self.col_comm = comm.split(color=self.col, key=self.row)
+        # Row group: same model row r, ranks ordered by batch column c.
+        self.row_comm = comm.split(color=self.row, key=self.col)
+
+    @property
+    def coords(self) -> Tuple[int, int]:
+        return self.row, self.col
+
+    @property
+    def p(self) -> int:
+        return self.pr * self.pc
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GridComm({self.pr}x{self.pc}, rank={self.comm.rank} at {self.coords})"

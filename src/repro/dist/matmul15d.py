@@ -1,0 +1,100 @@
+"""The 1.5D distributed layer products of Fig. 5.
+
+On a ``Pr x Pc`` grid, weight matrices are row-partitioned over ``Pr``
+(each block replicated ``Pc`` times) and activation matrices are
+column-partitioned over ``Pc`` (each block replicated ``Pr`` times).
+Rank ``(r, c)`` holds ``W[rows_r, :]`` and ``X[:, cols_c]``; the three
+training products then need exactly the collectives of Fig. 5:
+
+* **forward** ``Y = W X``: local GEMM gives ``Y[rows_r, cols_c]``; a
+  Bruck all-gather over the ``Pr`` column group assembles the full
+  ``Y[:, cols_c]`` on every rank of the group.
+* **backward dX** ``dX = W^T dY``: local GEMM
+  ``W[rows_r,:]^T dY[rows_r, cols_c]`` is one rank-``|rows_r|`` term of
+  the sum over ``Pr``; a ring all-reduce over the column group
+  completes it ("low rank intermediate matrices, one per process").
+* **backward dW** ``dW = dY X^T``: local GEMM over the batch shard is a
+  partial sum over ``Pc``; a ring all-reduce over the row group
+  completes the rows this rank owns.
+
+Degenerate grids recover the pure algorithms: ``Pr = 1`` is Fig. 2
+(pure batch: no forward communication, one dW all-reduce), ``Pc = 1``
+is Fig. 1 (pure model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dist.grid import GridComm
+from repro.dist.partition import BlockPartition
+from repro.errors import ShapeError
+
+__all__ = ["forward_15d", "backward_dx_15d", "backward_dw_15d"]
+
+
+def forward_15d(
+    grid: GridComm, w_local: np.ndarray, x_local: np.ndarray
+) -> np.ndarray:
+    """``Y[:, cols_c] = allgather_over_Pr(W[rows_r, :] @ X[:, cols_c])``.
+
+    Parameters
+    ----------
+    grid:
+        The process-grid communicators.
+    w_local:
+        This rank's weight rows, ``(rows_r, d_in)``.
+    x_local:
+        The full input activation for this batch shard, ``(d_in, b_c)``
+        (replicated across the ``Pr`` group).
+
+    Returns the full output shard ``(d_out, b_c)``.
+    """
+    if w_local.shape[1] != x_local.shape[0]:
+        raise ShapeError(
+            f"W_local {w_local.shape} and X_local {x_local.shape} do not conform"
+        )
+    y_partial = w_local @ x_local  # (rows_r, b_c)
+    if grid.pr == 1:
+        return y_partial
+    # Concatenation over the column group runs in model-row order because
+    # GridComm built col_comm with key = r.
+    return grid.col_comm.allgather(y_partial, axis=0, algorithm="bruck")
+
+
+def backward_dx_15d(
+    grid: GridComm, w_local: np.ndarray, dy_local_rows: np.ndarray
+) -> np.ndarray:
+    """``dX[:, cols_c] = allreduce_over_Pr(W[rows_r, :]^T @ dY[rows_r, cols_c])``."""
+    if w_local.shape[0] != dy_local_rows.shape[0]:
+        raise ShapeError(
+            f"W_local {w_local.shape} and dY rows {dy_local_rows.shape} do not conform"
+        )
+    dx_partial = w_local.T @ dy_local_rows  # (d_in, b_c)
+    if grid.pr == 1:
+        return dx_partial
+    return grid.col_comm.allreduce(dx_partial, algorithm="ring")
+
+
+def backward_dw_15d(
+    grid: GridComm, dy_local_rows: np.ndarray, x_local: np.ndarray
+) -> np.ndarray:
+    """``dW[rows_r, :] = allreduce_over_Pc(dY[rows_r, cols_c] @ X[:, cols_c]^T)``."""
+    if dy_local_rows.shape[1] != x_local.shape[1]:
+        raise ShapeError(
+            f"dY rows {dy_local_rows.shape} and X_local {x_local.shape} do not conform"
+        )
+    dw_partial = dy_local_rows @ x_local.T  # (rows_r, d_in)
+    if grid.pc == 1:
+        return dw_partial
+    return grid.row_comm.allreduce(dw_partial, algorithm="ring")
+
+
+def weight_rows_partition(d_out: int, grid: GridComm) -> BlockPartition:
+    """The row partition of a ``(d_out, d_in)`` weight matrix over ``Pr``."""
+    return BlockPartition(d_out, grid.pr)
+
+
+def batch_cols_partition(batch: int, grid: GridComm) -> BlockPartition:
+    """The column partition of a ``(d, B)`` activation matrix over ``Pc``."""
+    return BlockPartition(batch, grid.pc)

@@ -1,0 +1,78 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from simulator faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An object was constructed with invalid or inconsistent parameters.
+
+    Raised eagerly at construction time (e.g. a process grid whose
+    ``Pr * Pc`` does not equal ``P``, or a convolution whose channel
+    count is not divisible by its group count) so that errors surface at
+    the call site rather than deep inside a simulation.
+    """
+
+
+class ShapeError(ReproError, ValueError):
+    """Array or layer shapes are incompatible for the requested operation."""
+
+
+class PartitionError(ReproError, ValueError):
+    """A matrix/domain partition request cannot be satisfied.
+
+    Examples: distributing 3 rows over 5 processes when an exact tile is
+    required, or asking for the local block of an out-of-range rank.
+    """
+
+
+class StrategyError(ReproError, ValueError):
+    """A parallelization strategy is malformed or inapplicable.
+
+    For instance, assigning domain parallelism to a fully connected
+    layer (the paper notes the halo would cover the entire input), or a
+    strategy whose layer placement list does not match the network.
+    """
+
+
+class SimMPIError(ReproError, RuntimeError):
+    """Base class for faults inside the simulated MPI runtime."""
+
+
+class DeadlockError(SimMPIError):
+    """A simulated rank waited longer than the watchdog allows.
+
+    The simulated runtime executes SPMD rank programs on real threads;
+    a blocking receive that is never matched would hang the host
+    process, so receives carry a generous timeout and raise this error
+    instead.
+    """
+
+
+class RankFailedError(SimMPIError):
+    """One or more simulated ranks raised an exception.
+
+    The original per-rank exceptions are available via :attr:`failures`,
+    a mapping ``rank -> exception``.
+    """
+
+    def __init__(self, failures):
+        self.failures = dict(failures)
+        ranks = ", ".join(str(r) for r in sorted(self.failures))
+        first = self.failures[min(self.failures)]
+        super().__init__(
+            f"{len(self.failures)} simulated rank(s) failed (ranks {ranks}); "
+            f"first failure: {first!r}"
+        )
+
+
+class CommunicatorError(SimMPIError):
+    """Misuse of a communicator (bad rank, tag, or buffer)."""

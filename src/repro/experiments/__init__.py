@@ -1,0 +1,21 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Every module exposes ``run(**params) -> ExperimentResult``; the registry
+(:mod:`repro.experiments.registry`) maps experiment ids (``table1``,
+``fig4`` ... ``fig10``, ``eq5``, ``summa``, ``ablations``, ``dist``)
+onto those runners for the CLI and the benchmark suite.  See DESIGN.md
+for the per-experiment index and EXPERIMENTS.md for paper-vs-measured
+results.
+"""
+
+from repro.experiments.common import ExperimentResult, default_setting, Setting
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "Setting",
+    "default_setting",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+]

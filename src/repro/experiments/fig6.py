@@ -1,0 +1,46 @@
+"""Fig. 6: strong scaling of integrated model+batch parallelism, with the
+*same* ``Pr x Pc`` grid used for every layer (model parallelism leaks
+into the convolutional layers whenever ``Pr > 1``)."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.core.strategy import Strategy
+from repro.experiments.common import ExperimentResult, Setting, default_setting
+from repro.experiments.scaling import build_scaling_result
+
+__all__ = ["run", "DEFAULT_PANELS"]
+
+#: The paper sweeps P = 8 .. 512 at fixed B = 2048 across four
+#: subfigures (a)-(d) whose exact P values are not listed; we use the
+#: endpoints plus two intermediate powers of two.
+DEFAULT_PANELS: Tuple[Tuple[int, int], ...] = (
+    (8, 2048),
+    (64, 2048),
+    (256, 2048),
+    (512, 2048),
+)
+
+
+def run(
+    setting: Setting | None = None,
+    panels: Sequence[Tuple[int, int]] = DEFAULT_PANELS,
+) -> ExperimentResult:
+    setting = setting or default_setting()
+    return build_scaling_result(
+        setting,
+        "fig6",
+        "Strong scaling, same grid for all layers",
+        (
+            "integrated model+batch beats pure batch at larger P; at P=512 the "
+            "paper's best grid is 16x32 with 2.1x total and 5.0x communication "
+            "speedup; at small P (8) compute dominates and integration does not help"
+        ),
+        panels,
+        family=Strategy.same_grid_model,
+        extra_notes=(
+            "assumption: subfigure P values {8, 64, 256, 512} (the paper lists "
+            "only the range 8..512)",
+        ),
+    )

@@ -1,0 +1,44 @@
+"""Fig. 9: weak scaling — the mini-batch size grows with the process
+count (fixed ``B / P``), same grid used for all layers."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.core.strategy import Strategy
+from repro.experiments.common import ExperimentResult, Setting, default_setting
+from repro.experiments.scaling import build_scaling_result
+
+__all__ = ["run", "DEFAULT_PANELS"]
+
+#: (P, B) pairs with B/P = 4 held fixed; the paper varies both together
+#: without listing the exact pairs.
+DEFAULT_PANELS: Tuple[Tuple[int, int], ...] = (
+    (64, 256),
+    (128, 512),
+    (256, 1024),
+    (512, 2048),
+)
+
+
+def run(
+    setting: Setting | None = None,
+    panels: Sequence[Tuple[int, int]] = DEFAULT_PANELS,
+) -> ExperimentResult:
+    setting = setting or default_setting()
+    return build_scaling_result(
+        setting,
+        "fig9",
+        "Weak scaling with a variable mini-batch size",
+        (
+            "as (P, B) grow together the integrated approach again reduces "
+            "communication significantly versus pure batch; using the same "
+            "grid for conv layers is noted as sub-optimal"
+        ),
+        panels,
+        family=Strategy.same_grid_model,
+        extra_notes=(
+            "assumption: weak-scaling pairs keep B/P = 4 fixed "
+            "({64,128,256,512} x {256,512,1024,2048})",
+        ),
+    )

@@ -1,0 +1,67 @@
+"""Extension experiment: per-layer optimal placement vs batch size.
+
+Section 2.4: "The choice of whether to partition the model or the
+domain can be made by computing the communication complexity.
+Generally, it is better to use domain parallelism for the initial
+layers of the network, since the activation size is large."  This
+experiment runs the exact per-layer solver
+(:func:`repro.core.optimizer.optimal_placements`) across batch sizes
+and shows the placement map shifting with the Eq. 5 balance: at tiny
+batches the late convolutions flip to model parallelism (crossover
+~13.6 for conv4/5), at large batches every convolution leaves the model
+path while the FC layers stay 1.5D.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.optimizer import optimal_placements
+from repro.core.costs import integrated_cost
+from repro.core.results import ResultTable
+from repro.core.strategy import ProcessGrid
+from repro.experiments.common import ExperimentResult, Setting, default_setting
+
+__all__ = ["run"]
+
+DEFAULT_BATCHES: Sequence[int] = (4, 8, 32, 256, 2048)
+
+
+def run(
+    setting: Setting | None = None,
+    batches: Sequence[int] = DEFAULT_BATCHES,
+    grid: ProcessGrid = ProcessGrid(4, 2),
+) -> ExperimentResult:
+    setting = setting or default_setting()
+    net, machine = setting.network, setting.machine
+    result = ExperimentResult(
+        "placements",
+        "Per-layer optimal placement vs batch size (Sec. 2.4 decision rule)",
+        (
+            "domain/batch placements suit early layers (large activations); "
+            "model parallelism suits FC layers and — below the Eq. 5 "
+            "crossover — the late convolutions"
+        ),
+    )
+    table = ResultTable(f"Optimal placement per layer on a {grid} grid")
+    for batch in batches:
+        if grid.pc > batch:
+            continue
+        strategy = optimal_placements(net, batch, grid, machine)
+        cost = integrated_cost(net, batch, strategy, machine)
+        row = {"B": batch, "comm_per_iter_s": cost.total}
+        for w, pl in zip(net.weighted_layers, strategy.placements):
+            row[w.name] = pl.value
+        table.add_row(**row)
+    result.tables.append(table)
+
+    small = next((r for r in table.rows if r["B"] <= 8), None)
+    large = next((r for r in table.rows if r["B"] >= 2048), None)
+    if small and large:
+        result.notes.append(
+            f"measured: at B={small['B']} conv4/conv5 choose "
+            f"{small['conv4']}/{small['conv5']}; at B={large['B']} they choose "
+            f"{large['conv4']}/{large['conv5']} while fc6-fc8 stay "
+            f"{large['fc6']}/{large['fc7']}/{large['fc8']}"
+        )
+    return result

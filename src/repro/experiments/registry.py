@@ -1,0 +1,77 @@
+"""Experiment registry: ids, titles, and runners for CLI and benchmarks."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ablations,
+    dist_equivalence,
+    eq5_crossover,
+    fig4,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    modelcheck,
+    pareto_frontier,
+    placements,
+    scaling_curves,
+    sensitivity,
+    summa_ablation,
+    table1,
+)
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "ExperimentEntry", "get_experiment", "run_experiment"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentEntry:
+    """One registered experiment."""
+
+    experiment_id: str
+    title: str
+    paper_ref: str
+    runner: Callable[..., ExperimentResult]
+
+
+EXPERIMENTS: Dict[str, ExperimentEntry] = {
+    e.experiment_id: e
+    for e in (
+        ExperimentEntry("table1", "Fixed simulation parameters", "Table 1", table1.run),
+        ExperimentEntry("fig4", "Single-KNL epoch time vs batch size", "Fig. 4", fig4.run),
+        ExperimentEntry("fig6", "Strong scaling, same grid for all layers", "Fig. 6", fig6.run),
+        ExperimentEntry("fig7", "Strong scaling, model parallelism in FC only", "Fig. 7", fig7.run),
+        ExperimentEntry("fig8", "Perfect comm/backprop overlap", "Fig. 8", fig8.run),
+        ExperimentEntry("fig9", "Weak scaling with variable batch", "Fig. 9", fig9.run),
+        ExperimentEntry("fig10", "Domain parallelism beyond the batch limit", "Fig. 10", fig10.run),
+        ExperimentEntry("eq5", "Batch/model volume crossover", "Eq. 5 / Sec. 2.2", eq5_crossover.run),
+        ExperimentEntry("summa", "1.5D vs 2D SUMMA volumes", "Sec. 4", summa_ablation.run),
+        ExperimentEntry("ablations", "Redistribution / memory / all-reduce ablations", "Eq. 6 / Sec. 4", ablations.run),
+        ExperimentEntry("dist", "Numerical equivalence of executable algorithms", "Sec. 2 (consistency)", dist_equivalence.run),
+        ExperimentEntry("placements", "Per-layer optimal placement vs batch size", "Sec. 2.4 (extension)", placements.run),
+        ExperimentEntry("scaling", "Best-strategy strong/weak scaling curves", "Figs. 6-10 (extension)", scaling_curves.run),
+        ExperimentEntry("sensitivity", "Best-grid sensitivity to (alpha, beta)", "Sec. 1 Limitations (extension)", sensitivity.run),
+        ExperimentEntry("pareto", "Communication vs memory Pareto frontier", "Sec. 4 (extension)", pareto_frontier.run),
+        ExperimentEntry("modelcheck", "Eq. 8 predictions vs executed training", "Eq. 8 (validation)", modelcheck.run),
+    )
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentEntry:
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id with default parameters."""
+    return get_experiment(experiment_id).runner(**kwargs)

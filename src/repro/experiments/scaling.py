@@ -1,0 +1,120 @@
+"""Shared machinery for the strong/weak-scaling bar figures (Figs. 6-9).
+
+Each subfigure of those figures fixes ``(P, B)`` and sweeps the grid
+configurations ``Pr x Pc``; the bars decompose epoch time into compute
+plus communication with the batch-parallel all-reduce called out.  The
+best bar is annotated with its speedup over pure batch parallelism
+(``1 x P``), exactly as the paper prints in bold (with the
+communication speedup in parentheses).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.optimizer import evaluate_grids
+from repro.core.results import ResultTable
+from repro.core.simulate import SimulationPoint
+from repro.core.strategy import Strategy
+from repro.experiments.common import ExperimentResult, Setting, points_to_rows
+from repro.report.charts import stacked_bar_chart
+
+__all__ = ["scaling_subfigure", "build_scaling_result"]
+
+
+def scaling_subfigure(
+    setting: Setting,
+    p: int,
+    batch: int,
+    *,
+    family=Strategy.same_grid_model,
+    overlap: bool = False,
+) -> Tuple[ResultTable, str, dict]:
+    """One ``(P, B)`` panel: table, chart, and headline numbers.
+
+    Returns ``(table, chart, headline)`` where ``headline`` holds the
+    best grid and its total/communication speedups over pure batch.
+    """
+    points = evaluate_grids(
+        setting.network,
+        batch,
+        p,
+        setting.machine,
+        setting.compute,
+        family=family,
+        overlap=overlap,
+        dataset_size=setting.dataset.train_images,
+    )
+    baseline = _pure_batch_point(points)
+    rows = points_to_rows(points, baseline)
+    table = ResultTable(f"P = {p}, B = {batch} — epoch times (s) per grid")
+    table.extend(rows)
+
+    chart = stacked_bar_chart(
+        [pt.label for pt in points],
+        [
+            {
+                "compute": pt.compute_epoch,
+                "comm(model/domain)": pt.comm_epoch - pt.batch_comm_epoch,
+                "comm(batch allreduce)": pt.batch_comm_epoch,
+            }
+            for pt in points
+        ],
+        title=f"P={p}, B={batch} (epoch seconds; x = batch-parallel all-reduce)",
+    )
+
+    best = min(points, key=lambda pt: pt.total_epoch)
+    headline = {
+        "P": p,
+        "B": batch,
+        "best_grid": best.label,
+        "best_total_s": best.total_epoch,
+        "pure_batch_total_s": baseline.total_epoch if baseline else None,
+        "speedup_total": (baseline.total_epoch / best.total_epoch) if baseline else None,
+        "speedup_comm": (
+            baseline.comm_epoch / best.comm_epoch
+            if baseline and best.comm_epoch > 0
+            else None
+        ),
+    }
+    return table, chart, headline
+
+
+def _pure_batch_point(points: Sequence[SimulationPoint]) -> Optional[SimulationPoint]:
+    for pt in points:
+        if pt.strategy.grid.pr == 1:
+            return pt
+    return None
+
+
+def build_scaling_result(
+    setting: Setting,
+    experiment_id: str,
+    title: str,
+    paper_claim: str,
+    panels: Sequence[Tuple[int, int]],
+    *,
+    family=Strategy.same_grid_model,
+    overlap: bool = False,
+    extra_notes: Sequence[str] = (),
+) -> ExperimentResult:
+    """Assemble a multi-panel scaling figure over ``(P, B)`` pairs."""
+    result = ExperimentResult(experiment_id, title, paper_claim)
+    summary = ResultTable("Best-grid summary (speedups vs pure batch 1xP)")
+    for p, batch in panels:
+        table, chart, headline = scaling_subfigure(
+            setting, p, batch, family=family, overlap=overlap
+        )
+        result.tables.append(table)
+        result.charts.append(chart)
+        summary.add_row(**headline)
+    result.tables.insert(0, summary)
+    for headline_row in summary.rows:
+        if headline_row["speedup_total"] is not None:
+            result.notes.append(
+                f"measured: P={headline_row['P']}, B={headline_row['B']} best grid "
+                f"{headline_row['best_grid']} -> {headline_row['speedup_total']:.1f}x total "
+                f"({headline_row['speedup_comm']:.1f}x comm) vs pure batch"
+            )
+    result.notes.extend(extra_notes)
+    return result

@@ -1,0 +1,74 @@
+"""Extension experiment: end-to-end scaling curves of the best strategy.
+
+Joins the per-subfigure results of Figs. 6/7/9/10 into two curves:
+strong scaling (fixed ``B = 2048``, growing ``P``, including the
+``P > B`` region only domain/model splits can reach) and weak scaling
+(fixed ``B / P``).  Uses the full optimizer — grid search plus the
+per-layer optimal placements — so the curve is the envelope of every
+configuration the paper considers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.core.sweep import strong_scaling_curve, weak_scaling_curve
+from repro.experiments.common import ExperimentResult, Setting, default_setting
+from repro.report.charts import bar_chart
+
+__all__ = ["run"]
+
+DEFAULT_STRONG_P: Sequence[int] = (8, 32, 128, 512, 1024, 2048)
+DEFAULT_STRONG_B = 512
+DEFAULT_WEAK: Sequence[Tuple[int, int]] = ((32, 128), (128, 512), (512, 2048))
+
+
+def run(
+    setting: Setting | None = None,
+    strong_processes: Sequence[int] = DEFAULT_STRONG_P,
+    strong_batch: int = DEFAULT_STRONG_B,
+    weak_pairs: Sequence[Tuple[int, int]] = DEFAULT_WEAK,
+) -> ExperimentResult:
+    setting = setting or default_setting()
+    result = ExperimentResult(
+        "scaling",
+        "Best-strategy scaling curves (strong and weak)",
+        (
+            "the integrated approach's envelope keeps scaling where pure "
+            "batch stops (P = B) and holds its advantage under weak scaling"
+        ),
+    )
+    strong_points, strong_table = strong_scaling_curve(
+        setting.network,
+        strong_batch,
+        strong_processes,
+        setting.machine,
+        setting.compute,
+        dataset_size=setting.dataset.train_images,
+    )
+    result.tables.append(strong_table)
+    result.charts.append(
+        bar_chart(
+            [f"P={pt.processes}" for pt in strong_points],
+            [pt.best_total_s for pt in strong_points],
+            title=f"Strong scaling, B={strong_batch}: best epoch time (s)",
+            unit="s",
+        )
+    )
+    weak_points, weak_table = weak_scaling_curve(
+        setting.network,
+        weak_pairs,
+        setting.machine,
+        setting.compute,
+        dataset_size=setting.dataset.train_images,
+    )
+    result.tables.append(weak_table)
+
+    past_limit = [pt for pt in strong_points if pt.processes > strong_batch]
+    if past_limit:
+        result.notes.append(
+            "measured: best-strategy epoch time at P="
+            + ", ".join(f"{pt.processes}: {pt.best_total_s:.1f}s" for pt in past_limit)
+            + f" — scaling continues past the pure-batch limit P=B={strong_batch}"
+        )
+    return result

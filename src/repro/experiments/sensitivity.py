@@ -1,0 +1,85 @@
+"""Extension experiment: machine-parameter sensitivity of the best grid.
+
+The paper's Limitations section notes that topology and congestion
+effects "can be approximated by adjusting the latency and bandwidth
+terms accordingly".  This experiment sweeps ``alpha`` and ``1/beta``
+around the Cori-KNL point (Table 1) and reports how the best grid and
+its speedup over pure batch respond:
+
+* faster networks shrink the communication share, so integration
+  matters less (speedup -> 1);
+* slower networks amplify it, pushing the optimum toward larger ``Pr``
+  (more weight-volume reduction).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.optimizer import best_strategy
+from repro.core.results import ResultTable
+from repro.core.simulate import simulate_epoch
+from repro.core.strategy import ProcessGrid, Strategy
+from repro.experiments.common import ExperimentResult, Setting, default_setting
+from repro.machine.params import MachineParams
+
+__all__ = ["run"]
+
+DEFAULT_BANDWIDTHS_GBPS: Sequence[float] = (1.0, 6.0, 25.0, 100.0)
+DEFAULT_LATENCIES_US: Sequence[float] = (0.5, 2.0, 10.0)
+
+
+def run(
+    setting: Setting | None = None,
+    bandwidths_gbps: Sequence[float] = DEFAULT_BANDWIDTHS_GBPS,
+    latencies_us: Sequence[float] = DEFAULT_LATENCIES_US,
+    p: int = 512,
+    batch: int = 2048,
+) -> ExperimentResult:
+    setting = setting or default_setting()
+    net, compute = setting.network, setting.compute
+    result = ExperimentResult(
+        "sensitivity",
+        "Best-grid sensitivity to network latency and bandwidth",
+        (
+            "the analysis folds topology/congestion into (alpha, beta); "
+            "slower networks push the optimum toward larger Pr, faster "
+            "ones toward pure batch"
+        ),
+    )
+    table = ResultTable(f"P = {p}, B = {batch}: best strategy per (alpha, bandwidth)")
+    speedup_by_bw = {}
+    for bw in bandwidths_gbps:
+        for lat in latencies_us:
+            machine = MachineParams(
+                alpha=lat * 1e-6,
+                beta_per_byte=1.0 / (bw * 1e9),
+                name=f"{lat:g}us/{bw:g}GBps",
+            )
+            choice = best_strategy(
+                net, batch, p, machine, compute,
+                dataset_size=setting.dataset.train_images,
+            )
+            pure = simulate_epoch(
+                net, batch, Strategy.same_grid_model(net, ProcessGrid(1, p)),
+                machine, compute, dataset_size=setting.dataset.train_images,
+            )
+            speedup = pure.total_epoch / choice.total_epoch
+            speedup_by_bw.setdefault(bw, []).append(speedup)
+            table.add_row(
+                alpha_us=lat,
+                bandwidth_GBps=bw,
+                best_strategy=choice.strategy.describe(),
+                epoch_s=choice.total_epoch,
+                pure_batch_s=pure.total_epoch,
+                speedup=round(speedup, 2),
+            )
+    result.tables.append(table)
+    slow = min(bandwidths_gbps)
+    fast = max(bandwidths_gbps)
+    result.notes.append(
+        f"measured: mean speedup over pure batch {sum(speedup_by_bw[slow]) / len(speedup_by_bw[slow]):.1f}x "
+        f"at {slow:g} GB/s vs {sum(speedup_by_bw[fast]) / len(speedup_by_bw[fast]):.1f}x at {fast:g} GB/s "
+        "(integration pays off most on slow networks)"
+    )
+    return result

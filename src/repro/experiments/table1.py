@@ -1,0 +1,66 @@
+"""Table 1: the fixed options of the simulation study."""
+
+from __future__ import annotations
+
+from repro.core.results import ResultTable
+from repro.experiments.common import ExperimentResult, Setting, default_setting
+
+__all__ = ["run"]
+
+
+def run(setting: Setting | None = None) -> ExperimentResult:
+    setting = setting or default_setting()
+    net, ds, m = setting.network, setting.dataset, setting.machine
+
+    table = ResultTable("Table 1: fixed options and relevant parameters")
+    table.add_row(
+        category="Network architecture",
+        fixed_option=net.name,
+        parameters=(
+            f"{len(net.conv_layers)} convolutional and {len(net.fc_layers)} "
+            f"fully connected layers; parameters: {net.total_params:,}"
+        ),
+    )
+    table.add_row(
+        category="Training images",
+        fixed_option=ds.name,
+        parameters=f"training images: {ds.train_images:,}; categories: {ds.num_classes}",
+    )
+    table.add_row(
+        category="Computing platform",
+        fixed_option=m.name,
+        parameters=(
+            f"latency alpha = {m.alpha * 1e6:g} us; "
+            f"inverse bw 1/beta = {m.bandwidth / 1e9:g} GB/s"
+        ),
+    )
+
+    layers = ResultTable(f"{net.name} weighted layers (Eq. 2 algebra)")
+    for w in net.weighted_layers:
+        layers.add_row(
+            i=w.index,
+            layer=w.name,
+            kind=w.kind,
+            in_shape=str(w.in_shape),
+            out_shape=str(w.out_shape),
+            d_in=w.d_in,
+            d_out=w.d_out,
+            weights=w.weights,
+            kernel=f"{w.kernel_h}x{w.kernel_w}",
+        )
+
+    result = ExperimentResult(
+        experiment_id="table1",
+        title="Fixed parameters of the simulation study",
+        paper_claim=(
+            "AlexNet (5 conv + 3 FC layers, ~61M parameters), ImageNet "
+            "LSVRC-2012 (1.2M images, 1000 categories), NERSC Cori KNL "
+            "(alpha = 2us, 1/beta = 6 GB/s)"
+        ),
+        tables=[table, layers],
+    )
+    result.notes.append(
+        f"measured: AlexNet parameter count {net.total_params:,} "
+        f"(grouped conv2/4/5), forward {net.total_flops / 1e9:.2f} Gflop/sample"
+    )
+    return result

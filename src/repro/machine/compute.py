@@ -1,0 +1,262 @@
+"""Compute-time models.
+
+The paper treats compute empirically: it measures single-KNL AlexNet
+iteration time as a function of batch size (Fig. 4) and combines that
+with the analytic communication costs to obtain total run times
+(Section 3, "we also consider the computational time by empirically
+measuring the time needed for an SGD iteration").  Two models live here:
+
+:class:`EpochTimeTable`
+    Interpolates an ``epoch-time(batch)`` table (log-log linear) and
+    converts it into a per-iteration time ``t_iter(b) = epoch(b)*b/N``.
+
+:class:`ComputeModel`
+    Maps a distributed configuration to per-process compute time per
+    iteration.  Each of the ``P = Pr*Pc`` processes works on a local
+    batch ``b = B/Pc`` and on a ``1/Pr`` share of the per-sample work
+    (model rows or domain rows), so the per-iteration compute time is
+    ``t_iter(B/Pc) / Pr``.  The batch-size dependence of the table
+    captures the hardware-efficiency effect the paper highlights (small
+    local batches under-utilise the node, Fig. 4); dividing by ``Pr``
+    assumes the model/domain split is load balanced, as the paper does.
+
+:class:`FlopsComputeModel`
+    An alternative first-principles model (``3 * flops / (peak * eff)``)
+    for networks without a measured table; its efficiency curve can be
+    calibrated against an :class:`EpochTimeTable`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import math
+from typing import Callable, Iterable, Mapping, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.machine.knl_data import IMAGENET_TRAIN_IMAGES, knl_alexnet_table
+
+__all__ = ["EpochTimeTable", "ComputeModel", "FlopsComputeModel"]
+
+
+class EpochTimeTable:
+    """Log-log interpolated ``batch size -> one-epoch time`` table.
+
+    Parameters
+    ----------
+    entries:
+        Mapping or iterable of ``(batch, seconds)`` pairs; batch sizes
+        must be positive and unique, times positive.
+    dataset_size:
+        Number of samples per epoch (``N``); converts epoch time into
+        per-iteration time via ``t_iter(b) = epoch(b) * b / N``.
+    """
+
+    def __init__(
+        self,
+        entries: Mapping[int, float] | Iterable[Tuple[int, float]],
+        *,
+        dataset_size: int = IMAGENET_TRAIN_IMAGES,
+    ) -> None:
+        if isinstance(entries, Mapping):
+            pairs = sorted(entries.items())
+        else:
+            pairs = sorted(entries)
+        if not pairs:
+            raise ConfigurationError("epoch-time table must not be empty")
+        if dataset_size <= 0:
+            raise ConfigurationError(f"dataset_size must be positive, got {dataset_size}")
+        batches = [b for b, _ in pairs]
+        if len(set(batches)) != len(batches):
+            raise ConfigurationError("duplicate batch sizes in epoch-time table")
+        for b, t in pairs:
+            if b <= 0:
+                raise ConfigurationError(f"batch sizes must be positive, got {b}")
+            if t <= 0:
+                raise ConfigurationError(f"epoch times must be positive, got {t}")
+        self._log_b = [math.log(b) for b, _ in pairs]
+        self._log_t = [math.log(t) for _, t in pairs]
+        self._pairs: Tuple[Tuple[int, float], ...] = tuple(pairs)
+        self.dataset_size = int(dataset_size)
+
+    @classmethod
+    def knl_alexnet(cls) -> "EpochTimeTable":
+        """The embedded Fig.-4-shaped AlexNet-on-KNL table."""
+        return cls(knl_alexnet_table(), dataset_size=IMAGENET_TRAIN_IMAGES)
+
+    @property
+    def batch_sizes(self) -> Tuple[int, ...]:
+        return tuple(b for b, _ in self._pairs)
+
+    @property
+    def entries(self) -> Tuple[Tuple[int, float], ...]:
+        return self._pairs
+
+    def epoch_time(self, batch: float) -> float:
+        """One-epoch time at ``batch``, log-log interpolated, clamped outside."""
+        if batch <= 0:
+            raise ConfigurationError(f"batch must be positive, got {batch}")
+        lb = math.log(batch)
+        logs_b, logs_t = self._log_b, self._log_t
+        if lb <= logs_b[0]:
+            return math.exp(logs_t[0])
+        if lb >= logs_b[-1]:
+            return math.exp(logs_t[-1])
+        hi = bisect.bisect_right(logs_b, lb)
+        lo = hi - 1
+        frac = (lb - logs_b[lo]) / (logs_b[hi] - logs_b[lo])
+        return math.exp(logs_t[lo] + frac * (logs_t[hi] - logs_t[lo]))
+
+    def iteration_time(self, batch: float) -> float:
+        """Single-process time for one SGD iteration at local batch ``batch``."""
+        return self.epoch_time(batch) * batch / self.dataset_size
+
+    def best_batch(self) -> int:
+        """The tabulated batch size with the lowest epoch time (paper: 256)."""
+        return min(self._pairs, key=lambda kv: kv[1])[0]
+
+
+@dataclasses.dataclass(frozen=True)
+class ComputeModel:
+    """Per-process compute time for a distributed SGD iteration.
+
+    ``iteration_time(B, Pr, Pc)`` models each process holding a local
+    batch ``B / Pc`` and a ``1 / Pr`` share of per-sample work.  ``Pr``
+    covers both model and domain splits — in both cases each process
+    executes that fraction of the per-sample flops, which is exactly how
+    the paper scales measured compute across grids.
+    """
+
+    table: EpochTimeTable
+    #: Smallest local batch used for table lookup.  Local batches below
+    #: one sample (possible only transiently in sweeps) clamp here.
+    min_local_batch: float = 1.0
+
+    def local_batch(self, global_batch: float, pc: int) -> float:
+        if global_batch <= 0:
+            raise ConfigurationError(f"global batch must be positive, got {global_batch}")
+        if pc <= 0:
+            raise ConfigurationError(f"Pc must be positive, got {pc}")
+        return max(global_batch / pc, self.min_local_batch)
+
+    def iteration_time(self, global_batch: float, pr: int = 1, pc: int = 1) -> float:
+        """Per-process compute seconds for one iteration on a ``pr x pc`` grid."""
+        if pr <= 0:
+            raise ConfigurationError(f"Pr must be positive, got {pr}")
+        b_local = self.local_batch(global_batch, pc)
+        return self.table.iteration_time(b_local) / pr
+
+    def epoch_time(self, global_batch: float, pr: int = 1, pc: int = 1) -> float:
+        """Per-process compute seconds for one epoch (``N/B`` iterations)."""
+        iters = self.table.dataset_size / global_batch
+        return self.iteration_time(global_batch, pr, pc) * iters
+
+    def share_iteration_time(self, global_batch: float, p: int) -> float:
+        """Per-process compute for an even ``1/P`` share of the iteration.
+
+        All grids over the same ``P`` processes perform the same total
+        work per iteration (``B`` samples through the full model), so —
+        following the paper's use of measured data "for cases with the
+        same computational workload" — the compute bar depends only on
+        ``(B, P)``: each process runs a ``B/P``-sample-equivalent share
+        at the hardware efficiency of that local size.  For ``P > B``
+        (the Fig. 10 regime) the share drops below one sample and the
+        per-sample efficiency clamps at the ``b = 1`` table entry.
+        """
+        if p <= 0:
+            raise ConfigurationError(f"P must be positive, got {p}")
+        if global_batch <= 0:
+            raise ConfigurationError(f"global batch must be positive, got {global_batch}")
+        b_eff = max(global_batch / p, self.min_local_batch)
+        per_sample = self.table.iteration_time(b_eff) / b_eff
+        return (global_batch / p) * per_sample
+
+    @classmethod
+    def knl_alexnet(cls) -> "ComputeModel":
+        return cls(EpochTimeTable.knl_alexnet())
+
+
+class FlopsComputeModel:
+    """First-principles compute model: ``t = 3 * flops_fwd / (peak * eff(b))``.
+
+    The factor 3 reflects the paper's observation that training performs
+    three matrix products per layer (forward, activation gradient,
+    weight gradient) of comparable cost.
+
+    Parameters
+    ----------
+    flops_per_sample:
+        Forward-pass flops for one sample through the whole network.
+    flops_peak:
+        Peak flop rate of one process.
+    efficiency:
+        ``eff(local_batch) -> (0, 1]``; defaults to a saturating curve
+        ``e_max * b / (b + b_half)`` with ``e_max=0.55``, ``b_half=64``,
+        which is in the ballpark of dense-GEMM efficiency on manycore
+        CPUs for AlexNet-sized layers.
+    """
+
+    def __init__(
+        self,
+        flops_per_sample: float,
+        flops_peak: float,
+        efficiency: Callable[[float], float] | None = None,
+    ) -> None:
+        if flops_per_sample <= 0:
+            raise ConfigurationError("flops_per_sample must be positive")
+        if flops_peak <= 0:
+            raise ConfigurationError("flops_peak must be positive")
+        self.flops_per_sample = float(flops_per_sample)
+        self.flops_peak = float(flops_peak)
+        self._efficiency = efficiency or (lambda b: 0.55 * b / (b + 64.0))
+
+    def efficiency(self, local_batch: float) -> float:
+        eff = self._efficiency(max(local_batch, 1e-12))
+        if not 0.0 < eff <= 1.0:
+            raise ConfigurationError(
+                f"efficiency model returned {eff!r}; must lie in (0, 1]"
+            )
+        return eff
+
+    def iteration_time(self, global_batch: float, pr: int = 1, pc: int = 1) -> float:
+        """Per-process compute seconds for one training iteration."""
+        if global_batch <= 0 or pr <= 0 or pc <= 0:
+            raise ConfigurationError("global_batch, pr and pc must be positive")
+        b_local = max(global_batch / pc, 1.0)
+        work = 3.0 * self.flops_per_sample * b_local / pr
+        return work / (self.flops_peak * self.efficiency(b_local))
+
+    @classmethod
+    def calibrated(
+        cls,
+        table: EpochTimeTable,
+        flops_per_sample: float,
+        flops_peak: float,
+    ) -> "FlopsComputeModel":
+        """Fit the efficiency curve so the model reproduces ``table`` exactly.
+
+        Efficiency at each tabulated batch is solved from
+        ``t_iter(b) = 3 * flops * b / (peak * eff)`` and interpolated
+        log-linearly in ``b`` between table points (clamped outside).
+        """
+        points: Sequence[Tuple[float, float]] = [
+            (
+                math.log(b),
+                min(1.0, 3.0 * flops_per_sample * b / (flops_peak * table.iteration_time(b))),
+            )
+            for b in table.batch_sizes
+        ]
+
+        def eff(b: float) -> float:
+            lb = math.log(max(b, 1e-12))
+            if lb <= points[0][0]:
+                return points[0][1]
+            if lb >= points[-1][0]:
+                return points[-1][1]
+            for (x0, y0), (x1, y1) in zip(points, points[1:]):
+                if x0 <= lb <= x1:
+                    frac = (lb - x0) / (x1 - x0)
+                    return y0 + frac * (y1 - y0)
+            return points[-1][1]  # pragma: no cover - unreachable
+
+        return cls(flops_per_sample, flops_peak, eff)

@@ -1,0 +1,54 @@
+"""Topology-derating presets (paper Section 1, "Limitations").
+
+The analysis assumes a fully connected, conflict-free network; the
+paper notes that topology and congestion "can be approximated by
+adjusting the latency and bandwidth terms accordingly".  These presets
+encode common rules of thumb for that adjustment — deliberately coarse,
+as the paper says a detailed treatment "will become network specific":
+
+* **fat tree** — full bisection in theory; in practice adaptive-routing
+  conflicts cost a fraction of bandwidth and hops add latency.
+* **dragonfly** (Cori's actual Aries topology) — small hop counts but
+  global-link contention under all-to-all-ish traffic.
+* **torus** — neighbour traffic is great (halo exchanges!), global
+  collectives see diameter-scaled latency and link sharing.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.machine.params import MachineParams
+
+__all__ = ["fat_tree", "dragonfly", "torus3d"]
+
+
+def fat_tree(base: MachineParams, *, levels: int = 3, utilization: float = 0.7) -> MachineParams:
+    """Derate for a ``levels``-deep fat tree at ``utilization`` of peak."""
+    if levels < 1:
+        raise ConfigurationError(f"levels must be >= 1, got {levels}")
+    if not 0 < utilization <= 1:
+        raise ConfigurationError(f"utilization must lie in (0, 1], got {utilization}")
+    return base.derated(latency_factor=float(levels), bandwidth_factor=utilization)
+
+
+def dragonfly(base: MachineParams, *, global_contention: float = 0.5) -> MachineParams:
+    """Derate for a dragonfly: ~2 hops of latency, contended global links."""
+    if not 0 < global_contention <= 1:
+        raise ConfigurationError(
+            f"global_contention must lie in (0, 1], got {global_contention}"
+        )
+    return base.derated(latency_factor=2.0, bandwidth_factor=global_contention)
+
+
+def torus3d(base: MachineParams, *, nodes: int, link_sharing: float = 0.5) -> MachineParams:
+    """Derate for a 3-D torus of ``nodes`` nodes.
+
+    Global collectives pay roughly the network diameter
+    (``3/2 * nodes^(1/3)`` hops) in latency and share links.
+    """
+    if nodes < 1:
+        raise ConfigurationError(f"nodes must be >= 1, got {nodes}")
+    if not 0 < link_sharing <= 1:
+        raise ConfigurationError(f"link_sharing must lie in (0, 1], got {link_sharing}")
+    diameter = max(1.0, 1.5 * nodes ** (1.0 / 3.0))
+    return base.derated(latency_factor=diameter, bandwidth_factor=link_sharing)

@@ -1,0 +1,67 @@
+"""AlexNet (Krizhevsky et al., 2012) — the paper's fixed network (Table 1).
+
+The spec below follows the original two-tower network expressed as a
+single stack with grouped convolutions (groups=2 on conv2/conv4/conv5),
+which yields 60,954,656 parameters — the "~61M" of Table 1 — and the
+"5 convolutional and 3 fully connected layers" the paper lists.  The
+layer cited in Section 2.2 as favouring model parallelism for small
+batches ("3x3 filters on 13x13x384 activations") is ``conv4``.
+"""
+
+from __future__ import annotations
+
+from repro.nn.conv import ConvSpec
+from repro.nn.fc import FCSpec
+from repro.nn.layer import ActivationSpec, DropoutSpec, LRNSpec, Shape3D
+from repro.nn.network import NetworkSpec
+from repro.nn.pool import PoolSpec
+
+__all__ = ["alexnet", "ALEXNET_PARAMS"]
+
+#: Exact parameter count of the spec returned by :func:`alexnet`.
+ALEXNET_PARAMS = 60_954_656
+
+
+def alexnet(*, input_size: int = 227, num_classes: int = 1000, grouped: bool = True) -> NetworkSpec:
+    """Build the AlexNet spec.
+
+    Parameters
+    ----------
+    input_size:
+        Input spatial extent (227 for the original no-padding conv1).
+    num_classes:
+        Output classes (1000 for ImageNet LSVRC-2012).
+    grouped:
+        Use the historical two-group convolutions on conv2/4/5.  With
+        ``grouped=False`` the network is the "merged" single-tower
+        variant (~62.4M parameters).
+    """
+    g = 2 if grouped else 1
+    return NetworkSpec(
+        "AlexNet" if grouped else "AlexNet (ungrouped)",
+        Shape3D(input_size, input_size, 3),
+        [
+            ("conv1", ConvSpec.square(96, 11, stride=4)),
+            ("relu1", ActivationSpec()),
+            ("lrn1", LRNSpec()),
+            ("pool1", PoolSpec(kernel=3, stride=2)),
+            ("conv2", ConvSpec.square(256, 5, padding=2, groups=g)),
+            ("relu2", ActivationSpec()),
+            ("lrn2", LRNSpec()),
+            ("pool2", PoolSpec(kernel=3, stride=2)),
+            ("conv3", ConvSpec.square(384, 3, padding=1)),
+            ("relu3", ActivationSpec()),
+            ("conv4", ConvSpec.square(384, 3, padding=1, groups=g)),
+            ("relu4", ActivationSpec()),
+            ("conv5", ConvSpec.square(256, 3, padding=1, groups=g)),
+            ("relu5", ActivationSpec()),
+            ("pool5", PoolSpec(kernel=3, stride=2)),
+            ("fc6", FCSpec(4096)),
+            ("relu6", ActivationSpec()),
+            ("drop6", DropoutSpec(0.5)),
+            ("fc7", FCSpec(4096)),
+            ("relu7", ActivationSpec()),
+            ("drop7", DropoutSpec(0.5)),
+            ("fc8", FCSpec(num_classes)),
+        ],
+    )

@@ -1,0 +1,40 @@
+"""Fully connected layer spec.
+
+Between two fully connected layers (or a conv layer and an FC layer)
+the paper counts ``|W_i| = d_i * d_{i-1}`` parameters.  FC layers accept
+spatial input shapes by flattening them first, matching how AlexNet's
+``fc6`` consumes the 6x6x256 output of ``pool5``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+from repro.nn.layer import LayerSpec, Shape3D
+
+__all__ = ["FCSpec"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FCSpec(LayerSpec):
+    """A dense layer mapping ``d_{i-1}`` features to ``out_features``."""
+
+    out_features: int
+    kind = "fc"
+
+    def __post_init__(self) -> None:
+        if self.out_features <= 0:
+            raise ConfigurationError(
+                f"out_features must be positive, got {self.out_features}"
+            )
+
+    def output_shape(self, in_shape: Shape3D) -> Shape3D:
+        return Shape3D.flat(self.out_features)
+
+    def param_count(self, in_shape: Shape3D) -> int:
+        """``|W_i| = d_i * d_{i-1}`` (no bias, as in the paper's algebra)."""
+        return self.out_features * in_shape.size
+
+    def flops(self, in_shape: Shape3D) -> int:
+        return 2 * self.out_features * in_shape.size

@@ -1,0 +1,46 @@
+"""Pooling layer spec (max or average), parameter free."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+from repro.nn.conv import conv_output_extent
+from repro.nn.layer import LayerSpec, Shape3D
+
+__all__ = ["PoolSpec"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PoolSpec(LayerSpec):
+    """Spatial pooling over ``kernel x kernel`` windows with ``stride``."""
+
+    kernel: int
+    stride: int
+    mode: str = "max"
+    padding: int = 0
+    kind = "pool"
+
+    def __post_init__(self) -> None:
+        if self.kernel <= 0:
+            raise ConfigurationError(f"kernel must be positive, got {self.kernel}")
+        if self.stride <= 0:
+            raise ConfigurationError(f"stride must be positive, got {self.stride}")
+        if self.padding < 0:
+            raise ConfigurationError(f"padding must be >= 0, got {self.padding}")
+        if self.mode not in ("max", "avg"):
+            raise ConfigurationError(f"pool mode must be 'max' or 'avg', got {self.mode!r}")
+
+    def output_shape(self, in_shape: Shape3D) -> Shape3D:
+        return Shape3D(
+            conv_output_extent(in_shape.height, self.kernel, self.stride, self.padding),
+            conv_output_extent(in_shape.width, self.kernel, self.stride, self.padding),
+            in_shape.channels,
+        )
+
+    def param_count(self, in_shape: Shape3D) -> int:
+        return 0
+
+    def flops(self, in_shape: Shape3D) -> int:
+        out = self.output_shape(in_shape)
+        return out.size * self.kernel * self.kernel

@@ -1,0 +1,117 @@
+"""Additional network specs for what-if studies beyond the paper's AlexNet.
+
+The paper's analysis "is generally applicable to any neural network"
+(Limitations) and specifically notes that 1x1 convolutions — dominant in
+ResNet-style architectures [10] — need *no* halo communication under
+domain parallelism (Eq. 7).  These factories let the cost models be
+exercised on such networks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.nn.conv import ConvSpec
+from repro.nn.fc import FCSpec
+from repro.nn.layer import ActivationSpec, DropoutSpec, LayerSpec, Shape3D
+from repro.nn.network import NetworkSpec
+from repro.nn.pool import PoolSpec
+
+__all__ = ["vgg16", "resnet_like_stack", "mlp", "lenet_like"]
+
+
+def vgg16(*, input_size: int = 224, num_classes: int = 1000) -> NetworkSpec:
+    """VGG-16 (configuration D): 13 conv + 3 FC layers, ~138M params."""
+    layers: List[Tuple[str, LayerSpec]] = []
+    block_channels = [(2, 64), (2, 128), (3, 256), (3, 512), (3, 512)]
+    idx = 0
+    for block, (count, channels) in enumerate(block_channels, start=1):
+        for _ in range(count):
+            idx += 1
+            layers.append((f"conv{idx}", ConvSpec.square(channels, 3, padding=1)))
+            layers.append((f"relu{idx}", ActivationSpec()))
+        layers.append((f"pool{block}", PoolSpec(kernel=2, stride=2)))
+    layers += [
+        ("fc14", FCSpec(4096)),
+        ("relu14", ActivationSpec()),
+        ("drop14", DropoutSpec(0.5)),
+        ("fc15", FCSpec(4096)),
+        ("relu15", ActivationSpec()),
+        ("drop15", DropoutSpec(0.5)),
+        ("fc16", FCSpec(num_classes)),
+    ]
+    return NetworkSpec("VGG-16", Shape3D(input_size, input_size, 3), layers)
+
+
+def resnet_like_stack(
+    *,
+    input_size: int = 56,
+    in_channels: int = 64,
+    bottleneck_channels: int = 64,
+    blocks: int = 4,
+    num_classes: int = 1000,
+) -> NetworkSpec:
+    """A plain stack of ResNet-style bottlenecks (1x1 -> 3x3 -> 1x1).
+
+    Skip connections do not change activation shapes or parameter
+    counts, and the paper's cost algebra never models the elementwise
+    add, so a sequential stack exercises the same communication
+    behaviour — in particular the halo-free 1x1 convolutions that
+    Section 2.2 highlights.
+    """
+    if blocks <= 0:
+        raise ConfigurationError(f"blocks must be positive, got {blocks}")
+    layers: List[Tuple[str, LayerSpec]] = []
+    expanded = 4 * bottleneck_channels
+    for b in range(1, blocks + 1):
+        layers.append((f"b{b}_reduce", ConvSpec.square(bottleneck_channels, 1)))
+        layers.append((f"b{b}_relu1", ActivationSpec()))
+        layers.append((f"b{b}_conv", ConvSpec.square(bottleneck_channels, 3, padding=1)))
+        layers.append((f"b{b}_relu2", ActivationSpec()))
+        layers.append((f"b{b}_expand", ConvSpec.square(expanded, 1)))
+        layers.append((f"b{b}_relu3", ActivationSpec()))
+    layers.append(("gap", PoolSpec(kernel=input_size, stride=input_size, mode="avg")))
+    layers.append(("fc", FCSpec(num_classes)))
+    return NetworkSpec(
+        f"ResNet-like ({blocks} bottlenecks)",
+        Shape3D(input_size, input_size, in_channels),
+        layers,
+    )
+
+
+def mlp(dims: Sequence[int], *, name: str = "MLP", activation: str = "relu") -> NetworkSpec:
+    """A fully connected network: ``dims[0] -> dims[1] -> ... -> dims[-1]``.
+
+    The paper notes that RNNs "mainly consist of fully connected layers
+    and our analysis naturally extends to those cases" — MLPs are the
+    purest such workload and the substrate for the numerically exact
+    1.5D trainer in :mod:`repro.dist`.
+    """
+    if len(dims) < 2:
+        raise ConfigurationError("an MLP needs an input dim and at least one layer")
+    layers: List[Tuple[str, LayerSpec]] = []
+    for i, dim in enumerate(dims[1:], start=1):
+        layers.append((f"fc{i}", FCSpec(dim)))
+        if i < len(dims) - 1:
+            layers.append((f"act{i}", ActivationSpec(activation)))
+    return NetworkSpec(name, Shape3D.flat(dims[0]), layers)
+
+
+def lenet_like(*, input_size: int = 28, channels: int = 1, num_classes: int = 10) -> NetworkSpec:
+    """A small LeNet-style CNN, handy for fast tests of the cost models."""
+    return NetworkSpec(
+        "LeNet-like",
+        Shape3D(input_size, input_size, channels),
+        [
+            ("conv1", ConvSpec.square(8, 5, padding=2)),
+            ("relu1", ActivationSpec()),
+            ("pool1", PoolSpec(kernel=2, stride=2)),
+            ("conv2", ConvSpec.square(16, 5, padding=2)),
+            ("relu2", ActivationSpec()),
+            ("pool2", PoolSpec(kernel=2, stride=2)),
+            ("fc1", FCSpec(64)),
+            ("relu3", ActivationSpec()),
+            ("fc2", FCSpec(num_classes)),
+        ],
+    )

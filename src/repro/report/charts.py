@@ -1,0 +1,92 @@
+"""ASCII bar charts in the style of the paper's figures.
+
+The paper's Figs. 6-10 are grouped bar charts: one bar per grid
+configuration, split into a compute portion and a communication portion
+with the batch-parallel all-reduce cross-hatched.  The renderers here
+reproduce that reading in plain text: ``#`` for compute, ``=`` for the
+general communication and ``x`` for its batch-parallel share.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["bar_chart", "stacked_bar_chart"]
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    title: str = "",
+    width: int = 50,
+    unit: str = "",
+    char: str = "#",
+) -> str:
+    """One horizontal bar per label, scaled to the maximum value."""
+    if len(labels) != len(values):
+        raise ConfigurationError("labels and values must have equal length")
+    if not labels:
+        raise ConfigurationError("nothing to chart")
+    if width < 4:
+        raise ConfigurationError(f"width must be >= 4, got {width}")
+    vmax = max(values)
+    if vmax < 0:
+        raise ConfigurationError("bar values must be >= 0")
+    label_w = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        n = 0 if vmax == 0 else round(width * value / vmax)
+        lines.append(f"{label:>{label_w}} | {char * n} {value:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def stacked_bar_chart(
+    labels: Sequence[str],
+    segments: Sequence[Mapping[str, float]],
+    *,
+    title: str = "",
+    width: int = 60,
+    unit: str = "s",
+    segment_chars: Optional[Mapping[str, str]] = None,
+    best_marker: bool = True,
+) -> str:
+    """Figure-style stacked bars.
+
+    ``segments[i]`` maps segment name to value for bar ``i``; segments
+    stack left-to-right in mapping order.  The bar with the smallest
+    total is flagged ``<= best`` the way the paper bolds its winner.
+    """
+    if len(labels) != len(segments):
+        raise ConfigurationError("labels and segments must have equal length")
+    if not labels:
+        raise ConfigurationError("nothing to chart")
+    chars = dict(segment_chars or {})
+    default_chars = ["#", "=", "x", "o", "+", "~"]
+    names: list = []
+    for seg in segments:
+        for name in seg:
+            if name not in names:
+                names.append(name)
+    for i, name in enumerate(names):
+        chars.setdefault(name, default_chars[i % len(default_chars)])
+    totals = [sum(seg.values()) for seg in segments]
+    vmax = max(totals)
+    best = min(range(len(totals)), key=totals.__getitem__)
+    label_w = max(len(l) for l in labels)
+    lines = [title] if title else []
+    legend = "  ".join(f"{chars[n]}={n}" for n in names)
+    lines.append(f"{'':>{label_w}}   [{legend}]")
+    for i, (label, seg) in enumerate(zip(labels, segments)):
+        bar = ""
+        for name in names:
+            value = seg.get(name, 0.0)
+            if value < 0:
+                raise ConfigurationError(f"segment {name!r} of bar {label!r} is negative")
+            n = 0 if vmax == 0 else round(width * value / vmax)
+            bar += chars[name] * n
+        marker = "  <= best" if (best_marker and i == best) else ""
+        lines.append(f"{label:>{label_w}} | {bar} {totals[i]:.4g}{unit}{marker}")
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""File export for experiment results (CSV/JSON/text)."""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+from repro.core.results import ResultTable
+from repro.errors import ConfigurationError
+
+__all__ = ["export_results", "write_text"]
+
+
+def write_text(path: Union[str, os.PathLike], content: str) -> str:
+    """Write ``content`` (creating parent dirs); returns the path."""
+    path = os.fspath(path)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(content if content.endswith("\n") else content + "\n")
+    return path
+
+
+def export_results(
+    table: ResultTable, directory: Union[str, os.PathLike], stem: str
+) -> dict:
+    """Write ``<stem>.txt`` (ASCII), ``<stem>.csv`` and ``<stem>.json``.
+
+    Returns a mapping of format name to written path.
+    """
+    if not stem:
+        raise ConfigurationError("export stem must be non-empty")
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    paths = {
+        "txt": write_text(os.path.join(directory, f"{stem}.txt"), table.to_ascii()),
+        "csv": write_text(os.path.join(directory, f"{stem}.csv"), table.to_csv()),
+        "json": write_text(os.path.join(directory, f"{stem}.json"), table.to_json(indent=2)),
+    }
+    return paths

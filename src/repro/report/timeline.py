@@ -1,0 +1,77 @@
+"""ASCII timelines of simulated communication traces.
+
+Given the :class:`~repro.simmpi.tracing.Tracer` events of a run, render
+a per-rank Gantt-style view of when each rank was sending/receiving in
+*virtual* time — the debugging view that makes simulator behaviour (ring
+pipelines, Bruck rounds, halo waits) visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.report.tables import format_seconds
+from repro.simmpi.tracing import TraceEvent
+
+__all__ = ["render_timeline", "traffic_matrix"]
+
+
+def render_timeline(
+    events: Sequence[TraceEvent],
+    *,
+    width: int = 72,
+    ranks: Optional[Sequence[int]] = None,
+) -> str:
+    """Per-rank activity bars over virtual time.
+
+    Each rank gets one row spanning ``[0, t_max]``; receive intervals
+    (which include waiting for the message) paint ``r``, send instants
+    paint ``s``, idle stays ``.``.  Overlapping send/receive shows
+    ``x``.
+    """
+    if width < 10:
+        raise ConfigurationError(f"width must be >= 10, got {width}")
+    events = [e for e in events if e.op in ("send", "recv")]
+    if not events:
+        return "(no point-to-point traffic recorded)"
+    t_max = max(e.t_end for e in events)
+    if t_max <= 0:
+        return "(all traffic at virtual time zero)"
+    all_ranks = sorted({e.rank for e in events}) if ranks is None else list(ranks)
+
+    def col(t: float) -> int:
+        return min(width - 1, int(width * t / t_max))
+
+    lines = [
+        f"virtual time 0 .. {format_seconds(t_max)}  "
+        f"[s=send  r=recv/wait  x=both  .=idle]"
+    ]
+    for rank in all_ranks:
+        row = ["."] * width
+        for e in events:
+            if e.rank != rank:
+                continue
+            if e.op == "recv":
+                for c in range(col(e.t_start), col(e.t_end) + 1):
+                    row[c] = "x" if row[c] == "s" else "r"
+            else:  # send: effectively instantaneous injection
+                c = col(e.t_start)
+                row[c] = "x" if row[c] == "r" else "s"
+        lines.append(f"rank {rank:>3} |{''.join(row)}|")
+    return "\n".join(lines)
+
+
+def traffic_matrix(events: Sequence[TraceEvent]) -> Dict[int, Dict[int, int]]:
+    """Bytes sent per (source, destination) pair.
+
+    Returns ``matrix[src][dst] = bytes``; handy for asserting on
+    communication *structure* (ring neighbours only, halo pairs only).
+    """
+    matrix: Dict[int, Dict[int, int]] = {}
+    for e in events:
+        if e.op != "send" or e.peer < 0:
+            continue
+        matrix.setdefault(e.rank, {})
+        matrix[e.rank][e.peer] = matrix[e.rank].get(e.peer, 0) + e.nbytes
+    return matrix

@@ -1,0 +1,353 @@
+"""Communicators for the simulated MPI runtime.
+
+A :class:`Comm` is the per-rank handle an SPMD program receives: it
+exposes mpi4py-flavoured point-to-point (``send``/``recv``/``sendrecv``)
+and collective (``allgather``/``allreduce``/``bcast``/``barrier``)
+operations, a virtual ``clock``, and ``split`` for building the row and
+column sub-communicators of the ``Pr x Pc`` grid (Fig. 5).
+
+Message payloads are deep-copied on send so rank programs can never
+alias each other's buffers; arrival times follow the postal model of
+:class:`~repro.simmpi.network.PostalNetwork`.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import CommunicatorError, DeadlockError
+from repro.simmpi.network import payload_bytes
+from repro.simmpi.tracing import TraceEvent
+
+__all__ = ["Comm", "Mailbox", "Request"]
+
+# How often blocked receives poll the engine's abort flag (wall seconds).
+_POLL_INTERVAL = 0.05
+
+
+class Mailbox:
+    """Matching buffers for in-flight messages, keyed by (ctx, src, dst, tag)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._queues: Dict[Tuple, Deque[Tuple[Any, float]]] = {}
+
+    def post(self, key: Tuple, payload: Any, arrival: float) -> None:
+        with self._cond:
+            self._queues.setdefault(key, deque()).append((payload, arrival))
+            self._cond.notify_all()
+
+    def take(self, key: Tuple, timeout: float, abort_check) -> Tuple[Any, float]:
+        """Block until a message matches ``key``; honour aborts and timeouts."""
+        deadline = timeout
+        waited = 0.0
+        with self._cond:
+            while True:
+                queue = self._queues.get(key)
+                if queue:
+                    payload, arrival = queue.popleft()
+                    if not queue:
+                        del self._queues[key]
+                    return payload, arrival
+                if abort_check():
+                    raise DeadlockError(
+                        f"receive on {key} interrupted: another rank failed"
+                    )
+                if waited >= deadline:
+                    raise DeadlockError(
+                        f"receive on {key} timed out after {timeout:.1f}s "
+                        "(likely an unmatched send/recv pair)"
+                    )
+                self._cond.wait(_POLL_INTERVAL)
+                waited += _POLL_INTERVAL
+
+
+class Request:
+    """Handle for a non-blocking operation (mpi4py-style).
+
+    Non-blocking semantics under the virtual clock: ``isend`` completes
+    immediately (eager buffering); an ``irecv`` posted before local
+    compute lets the message's flight time *overlap* that compute —
+    ``wait`` only advances the receiver's clock to the arrival time if
+    the arrival is still in the future.  This is exactly the mechanism
+    the paper invokes for halo exchanges: "a non-blocking, pair-wise
+    exchange while the convolution is being applied to the rest of the
+    image".
+    """
+
+    def __init__(self, comm: "Comm", kind: str, key: Optional[Tuple] = None) -> None:
+        if kind not in ("send", "recv"):
+            raise CommunicatorError(f"unknown request kind {kind!r}")
+        self._comm = comm
+        self._kind = kind
+        self._key = key
+        self._done = kind == "send"
+        self._payload: Any = None
+
+    @property
+    def completed(self) -> bool:
+        return self._done
+
+    def test(self) -> bool:
+        """Non-blocking completion probe (never advances the clock)."""
+        if self._done:
+            return True
+        engine = self._comm._engine
+        with engine.mailbox._cond:
+            return bool(engine.mailbox._queues.get(self._key))
+
+    def wait(self) -> Any:
+        """Block until complete; returns the payload for receives."""
+        if self._done:
+            return self._payload
+        comm = self._comm
+        engine = comm._engine
+        t0 = comm.clock
+        payload, arrival = engine.mailbox.take(
+            self._key, engine.timeout, engine.aborted
+        )
+        engine.sync_clock(comm.world_rank, arrival)
+        engine.tracer.record(
+            TraceEvent(
+                comm.world_rank,
+                "recv",
+                self._key[1],
+                payload_bytes(payload),
+                t0,
+                comm.clock,
+                (self._key[3],),
+            )
+        )
+        self._payload = payload
+        self._done = True
+        return payload
+
+
+class Comm:
+    """A communicator over a subset of the engine's world ranks.
+
+    Parameters
+    ----------
+    engine:
+        The owning :class:`~repro.simmpi.engine.SimEngine`.
+    world_ranks:
+        World ranks of the members, in local-rank order.
+    my_world_rank:
+        This rank's world identity.
+    ctx:
+        Hashable context id isolating this communicator's message
+        namespace from every other communicator's.
+    """
+
+    def __init__(self, engine, world_ranks: Tuple[int, ...], my_world_rank: int, ctx: Tuple) -> None:
+        self._engine = engine
+        self._world_ranks = tuple(world_ranks)
+        self._world_rank = my_world_rank
+        self._ctx = ctx
+        try:
+            self._rank = self._world_ranks.index(my_world_rank)
+        except ValueError:
+            raise CommunicatorError(
+                f"world rank {my_world_rank} is not a member of {world_ranks}"
+            )
+        self._split_seq = 0
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """Local rank within this communicator."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return len(self._world_ranks)
+
+    @property
+    def world_rank(self) -> int:
+        return self._world_rank
+
+    @property
+    def world_ranks(self) -> Tuple[int, ...]:
+        return self._world_ranks
+
+    # -- virtual time --------------------------------------------------------
+
+    @property
+    def clock(self) -> float:
+        """This rank's virtual clock in simulated seconds."""
+        return self._engine.get_clock(self._world_rank)
+
+    def advance(self, seconds: float) -> None:
+        """Model local computation taking ``seconds`` of virtual time."""
+        if seconds < 0:
+            raise CommunicatorError(f"cannot advance clock by {seconds}")
+        self._engine.advance_clock(self._world_rank, seconds)
+
+    # -- point to point --------------------------------------------------------
+
+    def _check_peer(self, peer: int) -> int:
+        if not 0 <= peer < self.size:
+            raise CommunicatorError(
+                f"peer rank {peer} out of range for size-{self.size} communicator"
+            )
+        return self._world_ranks[peer]
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Post ``obj`` to ``dest``; the sender pays the latency ``alpha``.
+
+        The payload is deep-copied, so mutating ``obj`` afterwards never
+        races the receiver (eager-buffered send semantics).
+        """
+        dst_world = self._check_peer(dest)
+        nbytes = payload_bytes(obj)
+        t0 = self.clock
+        payload = obj.copy() if isinstance(obj, np.ndarray) else copy.deepcopy(obj)
+        arrival = self._engine.network.arrival_time(t0, nbytes)
+        self._engine.advance_clock(self._world_rank, self._engine.network.machine.alpha)
+        key = (self._ctx, self._world_rank, dst_world, tag)
+        self._engine.mailbox.post(key, payload, arrival)
+        self._engine.tracer.record(
+            TraceEvent(self._world_rank, "send", dst_world, nbytes, t0, self.clock, (tag,))
+        )
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Block for a message from ``source``; advances the clock to arrival."""
+        src_world = self._check_peer(source)
+        key = (self._ctx, src_world, self._world_rank, tag)
+        t0 = self.clock
+        payload, arrival = self._engine.mailbox.take(
+            key, self._engine.timeout, self._engine.aborted
+        )
+        self._engine.sync_clock(self._world_rank, arrival)
+        self._engine.tracer.record(
+            TraceEvent(
+                self._world_rank,
+                "recv",
+                src_world,
+                payload_bytes(payload),
+                t0,
+                self.clock,
+                (tag,),
+            )
+        )
+        return payload
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send; completes immediately (eager buffering)."""
+        self.send(obj, dest, tag)
+        return Request(self, "send")
+
+    def irecv(self, source: int, tag: int = 0) -> Request:
+        """Non-blocking receive; complete it with :meth:`Request.wait`.
+
+        Posting the receive costs no virtual time, so compute performed
+        (via :meth:`advance`) between ``irecv`` and ``wait`` overlaps
+        the message's flight time.
+        """
+        src_world = self._check_peer(source)
+        key = (self._ctx, src_world, self._world_rank, tag)
+        return Request(self, "recv", key)
+
+    def sendrecv(
+        self,
+        sendobj: Any,
+        dest: int,
+        source: Optional[int] = None,
+        sendtag: int = 0,
+        recvtag: Optional[int] = None,
+    ) -> Any:
+        """Concurrent exchange: post to ``dest``, then receive from ``source``."""
+        if source is None:
+            source = dest
+        if recvtag is None:
+            recvtag = sendtag
+        self.send(sendobj, dest, sendtag)
+        return self.recv(source, recvtag)
+
+    # -- collectives (implemented in collops; thin delegating wrappers) ------
+
+    def barrier(self) -> None:
+        from repro.simmpi import collops
+
+        collops.barrier_dissemination(self)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        from repro.simmpi import collops
+
+        return collops.bcast_binomial(self, obj, root)
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        from repro.simmpi import collops
+
+        return collops.gather_naive(self, obj, root)
+
+    def allgather(self, arr: np.ndarray, axis: int = 0, algorithm: str = "bruck") -> np.ndarray:
+        from repro.simmpi import collops
+
+        blocks = collops.allgather_blocks(self, arr, algorithm=algorithm)
+        return np.concatenate(blocks, axis=axis) if self.size > 1 else arr.copy()
+
+    def allgather_object(self, obj: Any) -> List[Any]:
+        from repro.simmpi import collops
+
+        return collops.allgather_blocks(self, obj, algorithm="bruck")
+
+    def allreduce(self, arr: np.ndarray, algorithm: str = "ring") -> np.ndarray:
+        from repro.simmpi import collops
+
+        return collops.allreduce(self, arr, algorithm=algorithm)
+
+    def scatter(self, blocks, root: int = 0) -> Any:
+        from repro.simmpi import collops
+
+        return collops.scatter_blocks(self, blocks, root)
+
+    def reduce(self, arr: np.ndarray, root: int = 0) -> Optional[np.ndarray]:
+        from repro.simmpi import collops
+
+        return collops.reduce_to_root(self, arr, root)
+
+    # -- sub-communicators ------------------------------------------------------
+
+    def split(self, color: int, key: Optional[int] = None) -> "Comm":
+        """Partition this communicator by ``color`` (collective call).
+
+        Members with equal ``color`` form a new communicator, ordered by
+        ``(key, old rank)`` — exactly MPI_Comm_split.  Used to build the
+        ``Pr`` (column) and ``Pc`` (row) groups of the process grid.
+        """
+        if key is None:
+            key = self._rank
+        seq = self._split_seq
+        self._split_seq += 1
+        # Deposit (color, key) with the engine and read everyone's values;
+        # the exchange is deterministic metadata, charged zero virtual time.
+        values = self._engine.coordinate(
+            ctx=(self._ctx, "split", seq),
+            world_rank=self._world_rank,
+            value=(color, key),
+            participants=self._world_ranks,
+        )
+        members = sorted(
+            (
+                (values[w][1], self._world_ranks.index(w), w)
+                for w in self._world_ranks
+                if values[w][0] == color
+            ),
+        )
+        new_world_ranks = tuple(w for _, _, w in members)
+        new_ctx = (self._ctx, "split", seq, color)
+        return Comm(self._engine, new_world_ranks, self._world_rank, new_ctx)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Comm(rank={self._rank}/{self.size}, world={self._world_rank}, "
+            f"ctx={self._ctx!r})"
+        )

@@ -1,0 +1,184 @@
+"""The SPMD execution engine of the simulated MPI runtime.
+
+:class:`SimEngine` launches one thread per rank, hands each a
+:class:`~repro.simmpi.communicator.Comm`, and tracks per-rank virtual
+clocks under the postal network model.  Rank failures abort the whole
+run (raising :class:`~repro.errors.RankFailedError` with every original
+exception) and unblock any ranks still waiting on messages.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, RankFailedError
+from repro.machine.params import MachineParams
+from repro.simmpi.communicator import Comm, Mailbox
+from repro.simmpi.network import PostalNetwork
+from repro.simmpi.tracing import Tracer
+
+__all__ = ["SimEngine", "SimResult"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SimResult:
+    """Outcome of one SPMD run.
+
+    Attributes
+    ----------
+    values:
+        Per-rank return values of the rank program, in rank order.
+    clocks:
+        Final virtual clock of each rank (seconds).
+    time:
+        Simulated makespan: ``max(clocks)``.
+    """
+
+    values: Tuple[Any, ...]
+    clocks: Tuple[float, ...]
+
+    @property
+    def time(self) -> float:
+        return max(self.clocks) if self.clocks else 0.0
+
+    def __getitem__(self, rank: int) -> Any:
+        return self.values[rank]
+
+
+class SimEngine:
+    """Runs SPMD rank programs over a simulated network.
+
+    Parameters
+    ----------
+    size:
+        Number of world ranks.
+    machine:
+        Latency/bandwidth parameters (defaults to the paper's Cori-KNL).
+    timeout:
+        Wall-clock seconds a blocked receive waits before declaring a
+        deadlock.
+    trace:
+        Record every message as a :class:`~repro.simmpi.tracing.TraceEvent`
+        (see :attr:`tracer`).
+    """
+
+    def __init__(
+        self,
+        size: int,
+        machine: Optional[MachineParams] = None,
+        *,
+        timeout: float = 30.0,
+        trace: bool = False,
+    ) -> None:
+        if size < 1:
+            raise ConfigurationError(f"engine size must be >= 1, got {size}")
+        if timeout <= 0:
+            raise ConfigurationError(f"timeout must be positive, got {timeout}")
+        self.size = size
+        self.network = PostalNetwork(machine)
+        self.timeout = timeout
+        self.mailbox = Mailbox()
+        self.tracer = Tracer(enabled=trace)
+        self._clocks = [0.0] * size
+        self._clock_lock = threading.Lock()
+        self._abort = threading.Event()
+        self._coord_lock = threading.Lock()
+        self._coord_cond = threading.Condition(self._coord_lock)
+        self._coord_store: Dict[Tuple, Dict[int, Any]] = {}
+        self._coord_reads: Dict[Tuple, int] = {}
+
+    # -- clocks ------------------------------------------------------------
+
+    def get_clock(self, world_rank: int) -> float:
+        return self._clocks[world_rank]
+
+    def advance_clock(self, world_rank: int, seconds: float) -> None:
+        # Each rank only ever writes its own clock, so no lock is needed
+        # for the update itself; reads by other ranks happen only at
+        # coordination points.
+        self._clocks[world_rank] += seconds
+
+    def sync_clock(self, world_rank: int, at_least: float) -> None:
+        if at_least > self._clocks[world_rank]:
+            self._clocks[world_rank] = at_least
+
+    def aborted(self) -> bool:
+        return self._abort.is_set()
+
+    # -- metadata coordination (Comm.split) ---------------------------------
+
+    def coordinate(
+        self,
+        ctx: Tuple,
+        world_rank: int,
+        value: Any,
+        participants: Sequence[int],
+    ) -> Dict[int, Any]:
+        """All ``participants`` deposit a value and read everyone's.
+
+        A tiny built-in allgather for communicator metadata (used by
+        ``split``); charged zero virtual time.  The entry is garbage
+        collected once every participant has read it.
+        """
+        n = len(participants)
+        with self._coord_cond:
+            store = self._coord_store.setdefault(ctx, {})
+            store[world_rank] = value
+            self._coord_cond.notify_all()
+            waited = 0.0
+            while len(self._coord_store.get(ctx, ())) < n:
+                if self._abort.is_set():
+                    raise RankFailedError({world_rank: RuntimeError("aborted during split")})
+                if waited >= self.timeout:
+                    missing = set(participants) - set(self._coord_store.get(ctx, {}))
+                    raise ConfigurationError(
+                        f"split coordination on {ctx} timed out; missing ranks {sorted(missing)}"
+                    )
+                self._coord_cond.wait(0.05)
+                waited += 0.05
+            result = dict(self._coord_store[ctx])
+            self._coord_reads[ctx] = self._coord_reads.get(ctx, 0) + 1
+            if self._coord_reads[ctx] == n:
+                del self._coord_store[ctx]
+                del self._coord_reads[ctx]
+        return result
+
+    # -- running -------------------------------------------------------------
+
+    def world_comm(self, world_rank: int) -> Comm:
+        return Comm(self, tuple(range(self.size)), world_rank, ctx=("world",))
+
+    def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> SimResult:
+        """Execute ``fn(comm, *args, **kwargs)`` on every rank.
+
+        Returns a :class:`SimResult`; raises
+        :class:`~repro.errors.RankFailedError` if any rank raised.
+        The engine is reusable: clocks reset at the start of each run
+        (traces accumulate unless :attr:`tracer` is cleared).
+        """
+        self._clocks = [0.0] * self.size
+        self._abort.clear()
+        results: List[Any] = [None] * self.size
+        failures: Dict[int, BaseException] = {}
+
+        def worker(rank: int) -> None:
+            comm = self.world_comm(rank)
+            try:
+                results[rank] = fn(comm, *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                failures[rank] = exc
+                self._abort.set()
+
+        threads = [
+            threading.Thread(target=worker, args=(rank,), name=f"simmpi-rank-{rank}", daemon=True)
+            for rank in range(self.size)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if failures:
+            raise RankFailedError(failures)
+        return SimResult(values=tuple(results), clocks=tuple(self._clocks))

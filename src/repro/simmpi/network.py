@@ -1,0 +1,60 @@
+"""Postal network timing model for the simulated MPI runtime.
+
+Matches the paper's assumptions (Section 1, "Limitations"): a fully
+connected, conflict-free network described solely by a latency ``alpha``
+and an inverse bandwidth ``beta``.  A message of ``n`` bytes injected at
+time ``t`` arrives at ``t + alpha + beta_per_byte * n``; concurrent
+messages do not interfere.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+import numpy as np
+
+from repro.machine.params import MachineParams, cori_knl
+
+__all__ = ["PostalNetwork", "payload_bytes"]
+
+
+def payload_bytes(obj: Any) -> int:
+    """Size on the wire of a message payload.
+
+    NumPy arrays travel as raw buffers (their ``nbytes``); scalars as
+    one element; anything else is measured by its pickle, mirroring the
+    mpi4py convention of fast buffer sends vs pickled object sends.
+    """
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (int, float, complex, np.generic)):
+        return int(np.dtype(type(obj) if not isinstance(obj, np.generic) else obj.dtype).itemsize) if isinstance(obj, np.generic) else 8
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:  # pragma: no cover - unpicklable payloads are exotic
+        return 64
+
+
+class PostalNetwork:
+    """Latency-bandwidth message timing.
+
+    Parameters
+    ----------
+    machine:
+        Machine parameters supplying ``alpha`` and ``beta_per_byte``.
+        Defaults to the paper's Cori-KNL preset.
+    """
+
+    def __init__(self, machine: MachineParams | None = None) -> None:
+        self.machine = machine if machine is not None else cori_knl()
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Seconds for one ``nbytes`` message: ``alpha + beta * n``."""
+        if nbytes < 0:
+            raise ValueError(f"message size must be >= 0, got {nbytes}")
+        return self.machine.alpha + self.machine.beta_per_byte * nbytes
+
+    def arrival_time(self, send_clock: float, nbytes: int) -> float:
+        """Virtual time at which a message posted at ``send_clock`` lands."""
+        return send_clock + self.transfer_time(nbytes)

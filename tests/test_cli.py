@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in ("table1", "fig4", "fig6", "fig10", "eq5"):
+            assert key in out
+
+
+class TestSummary:
+    def test_summary_prints_setting(self, capsys):
+        assert main(["summary"]) == 0
+        out = capsys.readouterr().out
+        assert "conv1" in out and "fc8" in out
+        assert "Cori" in out and "ImageNet" in out
+
+
+class TestRun:
+    def test_run_prints_report(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "=== table1" in out
+
+    def test_run_quiet_suppresses_stdout(self, capsys):
+        assert main(["run", "table1", "--quiet"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_run_with_export(self, tmp_path, capsys):
+        assert main(["run", "eq5", "--quiet", "--out", str(tmp_path)]) == 0
+        files = os.listdir(tmp_path)
+        assert "eq5.csv" in files and "eq5.json" in files
+        assert "eq5_report.txt" in files
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(Exception):
+            main(["run", "fig99"])
+
+
+class TestBest:
+    def test_best_prints_strategy(self, capsys):
+        assert main(["best", "-B", "2048", "-P", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "best    :" in out
+        assert "per-layer placements:" in out
+        assert "conv1" in out and "fc8" in out
+
+    def test_best_beyond_batch_limit_uses_splits(self, capsys):
+        assert main(["best", "-B", "64", "-P", "128"]) == 0
+        out = capsys.readouterr().out
+        # No pure-batch layers are feasible at P > B.
+        placements = out.split("per-layer placements:")[1]
+        assert "batch" not in placements
+
+    def test_best_memory_cap_respected(self, capsys):
+        assert main(["best", "-B", "2048", "-P", "512", "--max-memory-mb", "150"]) == 0
+        out = capsys.readouterr().out
+        mb = float(out.split("memory/process: ")[1].split(" MB")[0])
+        assert mb <= 150
+
+    def test_best_other_networks(self, capsys):
+        assert main(["best", "-B", "256", "-P", "32", "--network", "mlp"]) == 0
+        out = capsys.readouterr().out
+        assert "MLP" in out
+
+    def test_best_requires_batch_and_processes(self):
+        with pytest.raises(SystemExit):
+            main(["best", "-B", "256"])
+
+    def test_best_plan_prints_schedule(self, capsys):
+        assert main(["best", "-B", "2048", "-P", "64", "--plan"]) == 0
+        out = capsys.readouterr().out
+        assert "Iteration plan" in out
+        assert "allreduce(dW)" in out
+        assert "blocking (critical-path) communication" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])

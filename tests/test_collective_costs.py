@@ -1,0 +1,141 @@
+"""Tests for the closed-form collective cost models (repro.collectives)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.collectives.cost import (
+    CollectiveCost,
+    allgather_bruck,
+    allgather_ring,
+    allreduce_recursive_doubling,
+    allreduce_ring,
+    broadcast_binomial,
+    halo_exchange,
+    point_to_point,
+    reduce_scatter_ring,
+)
+from repro.errors import ConfigurationError
+from repro.machine.params import MachineParams, cori_knl
+
+
+M = MachineParams(alpha=1e-6, beta_per_byte=1e-9, element_bytes=4)  # beta = 4e-9/elt
+
+
+class TestCollectiveCost:
+    def test_total_is_sum(self):
+        c = CollectiveCost(1.0, 2.0)
+        assert c.total == 3.0
+
+    def test_addition_and_scaling(self):
+        c = CollectiveCost(1.0, 2.0) + CollectiveCost(0.5, 0.25)
+        assert (c.latency, c.bandwidth) == (1.5, 2.25)
+        assert (2 * c).total == 2 * c.total
+
+    def test_zero(self):
+        assert CollectiveCost.zero().total == 0.0
+
+
+class TestAllGather:
+    def test_bruck_matches_paper_term(self):
+        """alpha*ceil(log P) + beta*n*(P-1)/P — the Eq. 3/8 all-gather."""
+        c = allgather_bruck(8, 1000, M)
+        assert c.latency == pytest.approx(3 * 1e-6)
+        assert c.bandwidth == pytest.approx(4e-9 * 1000 * 7 / 8)
+
+    def test_bruck_nonpower_of_two_rounds_up(self):
+        c = allgather_bruck(5, 100, M)
+        assert c.latency == pytest.approx(3 * 1e-6)  # ceil(log2 5) = 3
+
+    def test_ring_pays_linear_latency(self):
+        c = allgather_ring(8, 1000, M)
+        assert c.latency == pytest.approx(7 * 1e-6)
+        assert c.bandwidth == pytest.approx(allgather_bruck(8, 1000, M).bandwidth)
+
+    def test_single_process_is_free(self):
+        assert allgather_bruck(1, 1000, M).total == 0.0
+
+
+class TestAllReduce:
+    def test_ring_is_twice_allgather(self):
+        """Eq. 4's 'factor of 2 is merely due to the all-reduce algorithm'."""
+        ar = allreduce_ring(16, 5000, M)
+        ag = allgather_bruck(16, 5000, M)
+        assert ar.bandwidth == pytest.approx(2 * ag.bandwidth)
+        assert ar.latency == pytest.approx(2 * ag.latency)
+
+    def test_ring_exact_latency_variant(self):
+        c = allreduce_ring(16, 5000, M, exact_latency=True)
+        assert c.latency == pytest.approx(2 * 15 * 1e-6)
+
+    def test_recursive_doubling_power_of_two(self):
+        c = allreduce_recursive_doubling(8, 1000, M)
+        assert c.latency == pytest.approx(3e-6)
+        assert c.bandwidth == pytest.approx(4e-9 * 1000 * 3)
+
+    def test_recursive_doubling_extra_round_when_not_pof2(self):
+        c = allreduce_recursive_doubling(6, 1000, M)
+        assert c.latency == pytest.approx(4e-6)
+
+    def test_ring_beats_rd_for_large_messages(self):
+        """The paper's choice of ring for the 61M-element dW reduction."""
+        big = 61_000_000
+        assert allreduce_ring(512, big, M).total < allreduce_recursive_doubling(512, big, M).total
+
+    def test_rd_beats_ring_exact_for_tiny_messages(self):
+        assert (
+            allreduce_recursive_doubling(512, 1, M).total
+            < allreduce_ring(512, 1, M, exact_latency=True).total
+        )
+
+    def test_reduce_scatter_is_half_a_ring_allreduce(self):
+        rs = reduce_scatter_ring(8, 1000, M)
+        ar = allreduce_ring(8, 1000, M)
+        assert rs.bandwidth == pytest.approx(ar.bandwidth / 2)
+
+
+class TestOthers:
+    def test_broadcast(self):
+        c = broadcast_binomial(8, 1000, M)
+        assert c.latency == pytest.approx(3e-6)
+        assert c.bandwidth == pytest.approx(3 * 4e-9 * 1000)
+
+    def test_halo_exchange_single_message(self):
+        c = halo_exchange(500, M)
+        assert c.latency == pytest.approx(1e-6)
+        assert c.bandwidth == pytest.approx(4e-9 * 500)
+
+    def test_point_to_point(self):
+        assert point_to_point(100, M).total == pytest.approx(1e-6 + 4e-9 * 100)
+
+    @pytest.mark.parametrize(
+        "fn", [allgather_bruck, allreduce_ring, reduce_scatter_ring, broadcast_binomial]
+    )
+    def test_validation(self, fn):
+        with pytest.raises(ConfigurationError):
+            fn(0, 100, M)
+        with pytest.raises(ConfigurationError):
+            fn(4, -1, M)
+
+
+class TestProperties:
+    @given(p=st.integers(2, 1024), n=st.integers(0, 10**8))
+    def test_bandwidth_term_bounded_by_full_volume(self, p, n):
+        """(p-1)/p * n never exceeds n; ring all-reduce never exceeds 2n."""
+        m = cori_knl()
+        assert allgather_bruck(p, n, m).bandwidth <= m.beta * n + 1e-18
+        assert allreduce_ring(p, n, m).bandwidth <= 2 * m.beta * n + 1e-18
+
+    @given(p=st.integers(2, 512), n=st.integers(1, 10**7))
+    def test_allreduce_bandwidth_increases_with_p(self, p, n):
+        m = cori_knl()
+        assert allreduce_ring(p + 1, n, m).bandwidth >= allreduce_ring(p, n, m).bandwidth
+
+    @given(n=st.integers(0, 10**7))
+    def test_costs_nonnegative(self, n):
+        m = cori_knl()
+        for p in (1, 2, 7, 64):
+            for fn in (allgather_bruck, allgather_ring, allreduce_ring, broadcast_binomial):
+                c = fn(p, n, m)
+                assert c.latency >= 0 and c.bandwidth >= 0

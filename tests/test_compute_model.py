@@ -1,0 +1,164 @@
+"""Tests for the epoch-time table and compute models (repro.machine.compute)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.machine.compute import ComputeModel, EpochTimeTable, FlopsComputeModel
+from repro.machine.knl_data import IMAGENET_TRAIN_IMAGES, KNL_ALEXNET_EPOCH_TABLE
+
+
+class TestEpochTimeTable:
+    def test_exact_at_table_points(self):
+        t = EpochTimeTable.knl_alexnet()
+        for b, secs in KNL_ALEXNET_EPOCH_TABLE.items():
+            assert t.epoch_time(b) == pytest.approx(secs)
+
+    def test_loglog_interpolation_between_points(self):
+        t = EpochTimeTable({1: 100.0, 4: 25.0})
+        # log-log linear between (1,100) and (4,25): at b=2, 50.
+        assert t.epoch_time(2) == pytest.approx(50.0)
+
+    def test_clamps_outside_range(self):
+        t = EpochTimeTable({2: 10.0, 8: 5.0})
+        assert t.epoch_time(1) == pytest.approx(10.0)
+        assert t.epoch_time(100) == pytest.approx(5.0)
+
+    def test_iteration_time_definition(self):
+        t = EpochTimeTable({256: 3400.0}, dataset_size=IMAGENET_TRAIN_IMAGES)
+        assert t.iteration_time(256) == pytest.approx(3400.0 * 256 / 1_200_000)
+
+    def test_best_batch_is_256(self):
+        assert EpochTimeTable.knl_alexnet().best_batch() == 256
+
+    def test_fig4_shape_monotone_then_minimum(self):
+        """The published Fig. 4 shape: falls to B=256, rises after."""
+        t = EpochTimeTable.knl_alexnet()
+        batches = t.batch_sizes
+        below = [b for b in batches if b <= 256]
+        above = [b for b in batches if b >= 256]
+        for b0, b1 in zip(below, below[1:]):
+            assert t.epoch_time(b0) > t.epoch_time(b1)
+        for b0, b1 in zip(above, above[1:]):
+            assert t.epoch_time(b0) < t.epoch_time(b1)
+
+    @pytest.mark.parametrize(
+        "entries,kwargs",
+        [
+            ({}, {}),
+            ({0: 1.0}, {}),
+            ({1: -1.0}, {}),
+            ({1: 1.0}, {"dataset_size": 0}),
+            ([(1, 1.0), (1, 2.0)], {}),
+        ],
+    )
+    def test_invalid_tables(self, entries, kwargs):
+        with pytest.raises(ConfigurationError):
+            EpochTimeTable(entries, **kwargs)
+
+    def test_rejects_nonpositive_batch_query(self):
+        with pytest.raises(ConfigurationError):
+            EpochTimeTable.knl_alexnet().epoch_time(0)
+
+    @given(st.floats(min_value=1.0, max_value=4096.0))
+    def test_interpolation_within_table_envelope(self, b):
+        t = EpochTimeTable.knl_alexnet()
+        times = [v for _, v in t.entries]
+        eps = 1e-6
+        assert min(times) * (1 - eps) <= t.epoch_time(b) <= max(times) * (1 + eps)
+
+
+class TestComputeModel:
+    def test_pure_batch_iteration_time(self):
+        cm = ComputeModel.knl_alexnet()
+        # B=2048 over Pc=8 -> local batch 256.
+        expected = cm.table.iteration_time(256)
+        assert cm.iteration_time(2048, pr=1, pc=8) == pytest.approx(expected)
+
+    def test_model_split_divides_work(self):
+        cm = ComputeModel.knl_alexnet()
+        base = cm.iteration_time(1024, pr=1, pc=4)
+        assert cm.iteration_time(1024, pr=4, pc=4) == pytest.approx(base / 4)
+
+    def test_local_batch_clamps_at_one(self):
+        cm = ComputeModel.knl_alexnet()
+        assert cm.local_batch(4, 16) == 1.0
+
+    def test_share_time_equals_iteration_time_when_b_ge_p(self):
+        cm = ComputeModel.knl_alexnet()
+        assert cm.share_iteration_time(2048, 512) == pytest.approx(
+            cm.table.iteration_time(4)
+        )
+
+    def test_share_time_scales_below_one_sample(self):
+        """Fig. 10 regime: P > B keeps scaling the per-process share."""
+        cm = ComputeModel.knl_alexnet()
+        at_b = cm.share_iteration_time(512, 512)
+        assert cm.share_iteration_time(512, 1024) == pytest.approx(at_b / 2)
+        assert cm.share_iteration_time(512, 4096) == pytest.approx(at_b / 8)
+
+    def test_share_time_monotone_in_p(self):
+        cm = ComputeModel.knl_alexnet()
+        times = [cm.share_iteration_time(2048, p) for p in (8, 64, 256, 512, 1024)]
+        for t0, t1 in zip(times, times[1:]):
+            assert t1 < t0
+
+    def test_epoch_time_multiplies_iterations(self):
+        cm = ComputeModel.knl_alexnet()
+        per_iter = cm.iteration_time(2048, pr=2, pc=8)
+        assert cm.epoch_time(2048, pr=2, pc=8) == pytest.approx(
+            per_iter * IMAGENET_TRAIN_IMAGES / 2048
+        )
+
+    @pytest.mark.parametrize("args", [(0, 1, 1), (256, 0, 1), (256, 1, 0)])
+    def test_validation(self, args):
+        cm = ComputeModel.knl_alexnet()
+        with pytest.raises(ConfigurationError):
+            cm.iteration_time(*args)
+
+    def test_share_validation(self):
+        cm = ComputeModel.knl_alexnet()
+        with pytest.raises(ConfigurationError):
+            cm.share_iteration_time(256, 0)
+
+
+class TestFlopsComputeModel:
+    def test_basic_scaling(self):
+        fm = FlopsComputeModel(1e9, 1e12, efficiency=lambda b: 0.5)
+        # 3 * 1e9 * 64 / (1e12 * 0.5)
+        assert fm.iteration_time(64) == pytest.approx(3 * 64 / 500.0)
+
+    def test_model_split(self):
+        fm = FlopsComputeModel(1e9, 1e12, efficiency=lambda b: 0.5)
+        assert fm.iteration_time(64, pr=4) == pytest.approx(fm.iteration_time(64) / 4)
+
+    def test_default_efficiency_saturates(self):
+        fm = FlopsComputeModel(1e9, 1e12)
+        assert fm.efficiency(1) < fm.efficiency(64) < fm.efficiency(4096) <= 1.0
+
+    def test_bad_efficiency_rejected(self):
+        fm = FlopsComputeModel(1e9, 1e12, efficiency=lambda b: 1.5)
+        with pytest.raises(ConfigurationError):
+            fm.efficiency(10)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FlopsComputeModel(0, 1e12)
+        with pytest.raises(ConfigurationError):
+            FlopsComputeModel(1e9, 0)
+        fm = FlopsComputeModel(1e9, 1e12)
+        with pytest.raises(ConfigurationError):
+            fm.iteration_time(0)
+
+    def test_calibrated_reproduces_table(self):
+        """The calibrated model must hit the table's iteration times."""
+        table = EpochTimeTable.knl_alexnet()
+        flops = 1.455e9
+        fm = FlopsComputeModel.calibrated(table, flops, 6e12)
+        for b in table.batch_sizes:
+            expected = table.iteration_time(b)
+            # Calibration caps efficiency at 1.0; for this table all
+            # points stay below the cap, so reproduction is exact.
+            assert fm.iteration_time(b) == pytest.approx(expected, rel=1e-9)

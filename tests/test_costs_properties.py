@@ -1,0 +1,123 @@
+"""Property-based tests on the cost equations (hypothesis)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.costs import (
+    batch_parallel_cost,
+    integrated_cost,
+    integrated_mb_cost,
+    model_parallel_cost,
+)
+from repro.core.ratio import batch_model_volume_ratio
+from repro.core.strategy import Placement, ProcessGrid, Strategy
+from repro.machine.params import MachineParams, cori_knl
+from repro.nn import alexnet, lenet_like
+
+NET = lenet_like()  # small net keeps hypothesis fast
+ALEX = alexnet()
+M = cori_knl()
+
+grids = st.tuples(st.integers(1, 16), st.integers(1, 16)).map(lambda t: ProcessGrid(*t))
+
+
+@given(grid=grids, batch=st.integers(16, 4096))
+def test_eq8_total_nonnegative_and_finite(grid, batch):
+    if grid.pc > batch:
+        return
+    bd = integrated_mb_cost(NET, batch, grid, M)
+    assert bd.total >= 0.0
+    assert math.isfinite(bd.total)
+
+
+@given(p=st.integers(1, 256), batch=st.integers(256, 4096))
+def test_eq8_degenerates_to_eq4_and_eq3(p, batch):
+    """The two degeneracy identities hold for every (P, B)."""
+    via_eq8_batch = integrated_mb_cost(NET, batch, ProcessGrid(1, p), M).total
+    direct_batch = batch_parallel_cost(NET, p, M, batch=batch).total
+    assert via_eq8_batch == pytest.approx(direct_batch, rel=1e-12, abs=1e-18)
+
+    via_eq8_model = integrated_mb_cost(NET, batch, ProcessGrid(p, 1), M).total
+    direct_model = model_parallel_cost(NET, batch, p, M).total
+    assert via_eq8_model == pytest.approx(direct_model, rel=1e-12, abs=1e-18)
+
+
+@given(grid=grids, batch=st.integers(64, 2048))
+def test_bandwidth_monotone_in_batch(grid, batch):
+    """Eq. 8's activation terms scale linearly with B; dW terms don't."""
+    if grid.pc > batch:
+        return
+    a = integrated_mb_cost(NET, batch, grid, M)
+    b = integrated_mb_cost(NET, 2 * batch, grid, M)
+    assert b.bandwidth >= a.bandwidth - 1e-18
+
+
+@given(batch=st.integers(16, 2048), pr=st.integers(1, 8), pc=st.integers(1, 8))
+def test_dw_volume_shrinks_with_pr(batch, pr, pc):
+    """Eq. 8's headline: all-reduce volume divided by Pr."""
+    if pc > batch:
+        return
+    one = integrated_mb_cost(NET, batch, ProcessGrid(1, pc), M).filter("batch.").bandwidth
+    many = integrated_mb_cost(NET, batch, ProcessGrid(pr, pc), M).filter("batch.").bandwidth
+    assert many <= one / pr + 1e-18
+
+
+@given(batch=st.integers(8, 4096))
+def test_eq5_ratio_matches_cost_volumes(batch):
+    """Eq. 5 is derivable from the Eq. 3 / Eq. 4 volume accounting.
+
+    For one layer, batch volume = 2|W|(P-1)/P and model volume =
+    3 B d_i (P-1)/P (one all-gather + a double all-reduce), so the
+    tracked volumes must reproduce Eq. 5's 2|W|/(3 B d) ratio.
+    """
+    p = 8
+    # Single-layer network isolates the layer (no i>=2 terms elsewhere).
+    from repro.nn import mlp
+
+    net = mlp([64, 32])
+    layer = net.weighted_layers[0]
+    batch_vol = batch_parallel_cost(net, p, M, batch=batch).volume
+    model_vol = model_parallel_cost(net, batch, p, M).volume
+    # First layer has no dX all-reduce, so model volume here is only the
+    # all-gather: scale Eq. 5's 3 B d down to 1 B d.
+    expected_ratio = 3 * batch_model_volume_ratio(layer, batch)
+    assert batch_vol / model_vol == pytest.approx(expected_ratio, rel=1e-9)
+
+
+@given(
+    batch=st.integers(32, 2048),
+    pr=st.integers(1, 8),
+    pc=st.integers(1, 32),
+)
+@settings(max_examples=50)
+def test_mixed_strategy_total_is_sum_of_per_layer_choices(batch, pr, pc):
+    """integrated_cost is separable per layer: evaluating a mixed
+    strategy equals summing each layer's cost under its own placement."""
+    if pr * pc > batch or pr * pc == 1:
+        return  # BATCH-placed layers need P <= B
+    grid = ProcessGrid(pr, pc)
+    mixed = Strategy.conv_batch_fc_model(ALEX, grid)
+    total = integrated_cost(ALEX, batch, mixed, M).total
+    by_layer = integrated_cost(ALEX, batch, mixed, M).by_layer()
+    assert total == pytest.approx(sum(by_layer.values()), rel=1e-12)
+    # Every conv layer's contribution matches the pure-batch formula.
+    for w in ALEX.weighted_layers:
+        if w.is_conv:
+            p = grid.p
+            lg = math.ceil(math.log2(p)) if p > 1 else 0
+            expected = 2 * (M.alpha * lg + M.beta * (p - 1) / p * w.weights)
+            assert by_layer[w.name] == pytest.approx(expected, rel=1e-12)
+
+
+@given(pr=st.integers(2, 64))
+def test_domain_halo_independent_of_domain_parts(pr):
+    """Eq. 9's halo volume does not depend on Pr (only boundary rows move)."""
+    grid_a = ProcessGrid(2, 4)
+    grid_b = ProcessGrid(pr, 4)
+    sa = Strategy.conv_domain_fc_model(ALEX, grid_a)
+    sb = Strategy.conv_domain_fc_model(ALEX, grid_b)
+    halo_a = integrated_cost(ALEX, 64, sa, M).filter("domain.").total
+    halo_b = integrated_cost(ALEX, 64, sb, M).filter("domain.").total
+    assert halo_a == pytest.approx(halo_b, rel=1e-12)

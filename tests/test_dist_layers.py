@@ -1,0 +1,174 @@
+"""Tests for the serial reference layer numerics (repro.dist.layers)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dist.layers import (
+    col2im,
+    conv2d_backward,
+    conv2d_forward,
+    im2col,
+    maxpool2d_backward,
+    maxpool2d_forward,
+    relu,
+    relu_grad,
+)
+from repro.errors import ShapeError
+
+RNG = np.random.default_rng(0)
+
+
+def conv2d_bruteforce(x, w, stride=1, pad=0):
+    """O(everything) loop implementation used as the oracle."""
+    b, c, h, wd = x.shape
+    f, _, kh, kw = w.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    hout = (h + 2 * pad - kh) // stride + 1
+    wout = (wd + 2 * pad - kw) // stride + 1
+    y = np.zeros((b, f, hout, wout))
+    for bi in range(b):
+        for fi in range(f):
+            for i in range(hout):
+                for j in range(wout):
+                    patch = xp[bi, :, i * stride : i * stride + kh, j * stride : j * stride + kw]
+                    y[bi, fi, i, j] = np.sum(patch * w[fi])
+    return y
+
+
+class TestRelu:
+    def test_values(self):
+        x = np.array([-2.0, 0.0, 3.0])
+        np.testing.assert_array_equal(relu(x), [0.0, 0.0, 3.0])
+
+    def test_grad_masks_nonpositive(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        dy = np.ones(3)
+        np.testing.assert_array_equal(relu_grad(x, dy), [0.0, 0.0, 1.0])
+
+
+class TestConvForward:
+    @pytest.mark.parametrize(
+        "shape,kernel,stride,pad",
+        [
+            ((2, 3, 8, 8), (4, 3, 3, 3), 1, 1),
+            ((1, 1, 5, 5), (2, 1, 3, 3), 1, 0),
+            ((2, 2, 9, 9), (3, 2, 3, 3), 2, 1),
+            ((1, 3, 11, 11), (2, 3, 5, 5), 2, 2),
+            ((2, 4, 6, 6), (4, 4, 1, 1), 1, 0),
+        ],
+    )
+    def test_matches_bruteforce(self, shape, kernel, stride, pad):
+        x = RNG.standard_normal(shape)
+        w = RNG.standard_normal(kernel)
+        got = conv2d_forward(x, w, stride=stride, pad=pad)
+        np.testing.assert_allclose(got, conv2d_bruteforce(x, w, stride, pad), atol=1e-12)
+
+    def test_channel_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            conv2d_forward(np.zeros((1, 3, 8, 8)), np.zeros((2, 4, 3, 3)))
+
+    def test_bad_weight_rank_rejected(self):
+        with pytest.raises(ShapeError):
+            conv2d_forward(np.zeros((1, 3, 8, 8)), np.zeros((2, 3, 3)))
+
+
+class TestConvBackward:
+    @pytest.mark.parametrize(
+        "shape,kernel,stride,pad",
+        [
+            ((2, 2, 6, 6), (3, 2, 3, 3), 1, 1),
+            ((1, 1, 7, 7), (2, 1, 3, 3), 2, 1),
+            ((2, 3, 5, 5), (2, 3, 1, 1), 1, 0),
+        ],
+    )
+    def test_gradients_numerically(self, shape, kernel, stride, pad):
+        """Central-difference check of both dx and dw."""
+        x = RNG.standard_normal(shape)
+        w = 0.5 * RNG.standard_normal(kernel)
+        dy = RNG.standard_normal(conv2d_forward(x, w, stride, pad).shape)
+        dx, dw = conv2d_backward(x, w, dy, stride, pad)
+
+        eps = 1e-6
+
+        def loss(xx, ww):
+            return float(np.sum(conv2d_forward(xx, ww, stride, pad) * dy))
+
+        for idx in [(0, 0, 1, 1), tuple(np.unravel_index(x.size // 2, x.shape))]:
+            xp, xm = x.copy(), x.copy()
+            xp[idx] += eps
+            xm[idx] -= eps
+            num = (loss(xp, w) - loss(xm, w)) / (2 * eps)
+            assert dx[idx] == pytest.approx(num, rel=1e-4, abs=1e-6)
+        for idx in [(0, 0, 0, 0), tuple(np.unravel_index(w.size - 1, w.shape))]:
+            wp, wm = w.copy(), w.copy()
+            wp[idx] += eps
+            wm[idx] -= eps
+            num = (loss(x, wp) - loss(x, wm)) / (2 * eps)
+            assert dw[idx] == pytest.approx(num, rel=1e-4, abs=1e-6)
+
+
+class TestIm2Col:
+    @given(
+        b=st.integers(1, 3),
+        c=st.integers(1, 3),
+        h=st.integers(3, 8),
+        w=st.integers(3, 8),
+        k=st.sampled_from([1, 3]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_col2im_is_adjoint_of_im2col(self, b, c, h, w, k):
+        """<im2col(x), y> == <x, col2im(y)> — the defining adjoint identity
+        that makes the conv backward pass exact."""
+        pad = k // 2
+        x = RNG.standard_normal((b, c, h, w))
+        cols = im2col(x, k, k, 1, pad, pad)
+        y = RNG.standard_normal(cols.shape)
+        lhs = float(np.sum(cols * y))
+        rhs = float(np.sum(x * col2im(y, x.shape, k, k, 1, pad, pad)))
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_rejects_non_nchw(self):
+        with pytest.raises(ShapeError):
+            im2col(np.zeros((3, 8, 8)), 3, 3)
+
+    def test_kernel_larger_than_input(self):
+        with pytest.raises(ShapeError):
+            im2col(np.zeros((1, 1, 2, 2)), 5, 5)
+
+
+class TestMaxPool:
+    def test_forward_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        y, arg = maxpool2d_forward(x, 2)
+        np.testing.assert_array_equal(y[0, 0], [[5, 7], [13, 15]])
+
+    def test_backward_routes_to_argmax(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        y, arg = maxpool2d_forward(x, 2)
+        dy = np.ones_like(y)
+        dx = maxpool2d_backward(dy, arg, x.shape, 2)
+        assert dx.sum() == 4
+        assert dx[0, 0, 1, 1] == 1.0 and dx[0, 0, 0, 0] == 0.0
+
+    def test_gradient_numerically(self):
+        x = RNG.standard_normal((2, 3, 4, 4))
+        dy = RNG.standard_normal((2, 3, 2, 2))
+        y, arg = maxpool2d_forward(x, 2)
+        dx = maxpool2d_backward(dy, arg, x.shape, 2)
+        eps = 1e-6
+        idx = (1, 2, 3, 1)
+        xp, xm = x.copy(), x.copy()
+        xp[idx] += eps
+        xm[idx] -= eps
+        fp = float(np.sum(maxpool2d_forward(xp, 2)[0] * dy))
+        fm = float(np.sum(maxpool2d_forward(xm, 2)[0] * dy))
+        assert dx[idx] == pytest.approx((fp - fm) / (2 * eps), abs=1e-5)
+
+    def test_rejects_overlapping_windows(self):
+        with pytest.raises(ShapeError):
+            maxpool2d_forward(np.zeros((1, 1, 4, 4)), 3, 2)
+
+    def test_rejects_misaligned_dims(self):
+        with pytest.raises(ShapeError):
+            maxpool2d_forward(np.zeros((1, 1, 5, 4)), 2)

@@ -1,0 +1,66 @@
+"""Tests for model evaluation (repro.dist.evaluate)."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import separable_blobs
+from repro.dist.evaluate import distributed_mlp_accuracy, mlp_accuracy, mlp_predict
+from repro.dist.train import MLPParams, serial_mlp_train
+from repro.errors import ShapeError
+
+
+X, Y = separable_blobs(10, 120, 4, seed=17)
+PARAMS = MLPParams.init([10, 24, 4], seed=2)
+
+
+class TestSerialAccuracy:
+    def test_predictions_shape(self):
+        preds = mlp_predict(PARAMS, X)
+        assert preds.shape == (120,)
+        assert preds.dtype.kind in "iu"
+
+    def test_accuracy_in_unit_interval(self):
+        acc = mlp_accuracy(PARAMS, X, Y)
+        assert 0.0 <= acc <= 1.0
+
+    def test_training_improves_accuracy(self):
+        before = mlp_accuracy(PARAMS, X, Y)
+        trained, _ = serial_mlp_train(PARAMS, X, Y, batch=24, steps=40, lr=0.2)
+        after = mlp_accuracy(trained, X, Y)
+        assert after > before
+        assert after > 0.9  # blobs are separable
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            mlp_predict(PARAMS, X[0])
+        with pytest.raises(ShapeError):
+            mlp_accuracy(PARAMS, X, Y[:-1])
+
+
+class TestDistributedAccuracy:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 7])
+    def test_matches_serial(self, p):
+        serial = mlp_accuracy(PARAMS, X, Y)
+        dist, run = distributed_mlp_accuracy(PARAMS, X, Y, p=p)
+        assert dist == pytest.approx(serial)
+
+    def test_only_count_allreduce_communicates(self):
+        """Inference communicates two scalars per rank, nothing more —
+        'the forward pass of batch parallel training needs no
+        communication' (paper Sec. 2.2)."""
+        from repro.machine.params import cori_knl
+        from repro.simmpi.engine import SimEngine
+        from repro.dist.evaluate import _accuracy_program
+
+        engine = SimEngine(4, cori_knl(), trace=True)
+        engine.run(_accuracy_program, PARAMS, X, Y)
+        sent = engine.tracer.total_bytes("send")
+        # Ring all-reduce of a 2-float vector: 2*(p-1) messages of <= 2
+        # float64s per rank.
+        assert sent <= 4 * 2 * 3 * 16
+
+    def test_uneven_shard_sizes(self):
+        x, y = separable_blobs(10, 121, 4, seed=18)  # 121 % 4 != 0
+        serial = mlp_accuracy(PARAMS, x, y)
+        dist, _ = distributed_mlp_accuracy(PARAMS, x, y, p=4)
+        assert dist == pytest.approx(serial)

@@ -1,0 +1,294 @@
+"""Tests for the experiment harnesses: every registered experiment runs,
+and the figure-level claims the paper makes hold in the reproduction."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import EXPERIMENTS, get_experiment, run_experiment
+from repro.experiments import fig6, fig7, fig8, fig9, fig10, eq5_crossover, table1, fig4
+from repro.experiments import summa_ablation, ablations
+from repro.experiments.common import default_setting
+
+
+SETTING = default_setting()
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {"table1", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10",
+                    "eq5", "summa", "ablations", "dist", "placements", "scaling",
+                    "sensitivity", "pareto", "modelcheck"}
+        assert expected == set(EXPERIMENTS)
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_experiment("fig99")
+
+    def test_entries_have_paper_refs(self):
+        for entry in EXPERIMENTS.values():
+            assert entry.paper_ref
+            assert callable(entry.runner)
+
+
+class TestTable1:
+    def test_reports_the_fixed_options(self):
+        res = table1.run(SETTING)
+        text = res.render()
+        assert "AlexNet" in text
+        assert "1,200,000" in text
+        assert "60,954,656" in text
+        assert "2 us" in text and "6 GB/s" in text
+
+    def test_layer_table_has_eight_rows(self):
+        res = table1.run(SETTING)
+        assert len(res.tables[1]) == 8
+
+
+class TestFig4:
+    def test_best_batch_is_256(self):
+        res = fig4.run(SETTING)
+        assert any("best batch size = 256" in n for n in res.notes)
+
+    def test_covers_published_range(self):
+        res = fig4.run(SETTING)
+        col = res.main_table().column("batch")
+        assert col[0] == 1 and col[-1] == 2048
+
+    def test_epoch_times_within_axis_range(self):
+        """Fig. 4's y-axis spans ~10^3.5 .. 10^4.5 seconds."""
+        res = fig4.run(SETTING)
+        for t in res.main_table().column("epoch_s"):
+            assert 10**3.4 <= t <= 10**4.6
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6.run(SETTING, panels=((8, 2048), (512, 2048)))
+
+    def test_small_p_prefers_pure_batch(self, result):
+        """Fig. 6(a): 'the benefit ... is not realized on a relatively
+        small number of processors'."""
+        summary = result.main_table()
+        row_p8 = next(r for r in summary.rows if r["P"] == 8)
+        assert row_p8["best_grid"] == "1x8"
+
+    def test_large_p_prefers_integration(self, result):
+        summary = result.main_table()
+        row = next(r for r in summary.rows if r["P"] == 512)
+        assert row["best_grid"] not in ("1x512", "512x1")
+        assert row["speedup_total"] > 1.3
+        assert row["speedup_comm"] > 2.0
+
+    def test_charts_mark_best(self, result):
+        assert all("<= best" in chart for chart in result.charts)
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig7.run(SETTING, panels=((512, 2048),))
+
+    def test_beats_fig6_configuration(self, result):
+        """'Notice the significant improvement in best time compared to
+        Fig. 6' — and ours lands near the paper's 2.5x / 9.7x."""
+        row = result.main_table().rows[0]
+        assert row["speedup_total"] > 1.8
+        assert row["speedup_comm"] > 6.0
+        six = fig6.run(SETTING, panels=((512, 2048),)).main_table().rows[0]
+        assert row["best_total_s"] < six["best_total_s"]
+
+
+class TestFig8:
+    def test_overlap_keeps_speedup_near_2x(self):
+        res = fig8.run(SETTING)
+        row = res.main_table().rows[0]
+        assert row["speedup_total"] > 1.4
+
+    def test_overlap_times_below_non_overlapped(self):
+        plain = fig7.run(SETTING, panels=((512, 2048),)).main_table().rows[0]
+        over = fig8.run(SETTING).main_table().rows[0]
+        assert over["best_total_s"] <= plain["best_total_s"] + 1e-9
+
+
+class TestFig9:
+    def test_weak_scaling_keeps_integration_winning(self):
+        res = fig9.run(SETTING, panels=((64, 256), (512, 2048)))
+        for row in res.main_table().rows:
+            assert row["speedup_total"] >= 1.0
+        last = res.main_table().rows[-1]
+        assert last["best_grid"] not in ("1x512", "512x1")
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig10.run(SETTING)
+
+    def test_pure_batch_absent_beyond_limit(self, result):
+        rows = result.main_table().rows
+        beyond = [r for r in rows if r["P"] > 512]
+        assert beyond and all(r["strategy"] != "pure batch" for r in beyond)
+
+    def test_domain_scaling_monotone(self, result):
+        """The Fig. 10 headline: epoch time keeps falling past P = B."""
+        rows = [r for r in result.main_table().rows if r["strategy"].startswith("domain")]
+        totals = [r["total_s"] for r in rows]
+        assert all(t1 < t0 for t0, t1 in zip(totals, totals[1:]))
+
+    def test_domain_halo_traffic_negligible_vs_model_allgather(self, result):
+        """Sec. 2.4's mechanism: the domain halo volume is tiny compared
+        with the model-parallel activation all-gather it replaces — the
+        blocking part of the communication all but disappears.  (Under
+        the literal, non-overlapped Eq. 9 the conv-model grids can still
+        total lower because domain replicates all conv weights; the
+        paper's preference for domain rests on the halo being fully
+        overlappable while the all-gather is blocking — recorded as a
+        reproduction nuance in the experiment notes.)"""
+        from repro.core.costs import integrated_cost
+        from repro.core.strategy import ProcessGrid, Strategy
+
+        net, m = SETTING.network, SETTING.machine
+        grid = ProcessGrid(8, 512)
+        dom = integrated_cost(net, 512, Strategy.conv_domain_fc_model(net, grid), m)
+        mod = integrated_cost(net, 512, Strategy.same_grid_model(net, grid), m)
+        halo = dom.filter("domain.").total
+        allgather = mod.filter("model.allgather_fwd").total
+        assert halo < 0.2 * allgather
+
+
+class TestEq5:
+    def test_conv4_note_matches_paper_ballpark(self):
+        res = eq5_crossover.run(SETTING)
+        note = next(n for n in res.notes if "conv4" in n)
+        assert "13.6" in note
+
+    def test_fc_layers_have_large_crossover(self):
+        res = eq5_crossover.run(SETTING)
+        table = res.tables[0]
+        fc_rows = [r for r in table.rows if r["kind"] == "fc"]
+        assert all(r["crossover_B"] > 500 for r in fc_rows)
+
+
+class TestSummaAndAblations:
+    def test_summa_never_wins(self):
+        res = summa_ablation.run(SETTING)
+        assert any("no configuration" in n for n in res.notes)
+        for table in res.tables:
+            for row in table.rows:
+                if "ratio_a_over_1p5d" in row:
+                    assert row["ratio_a_over_1p5d"] >= 1.0
+
+    def test_summa_measured_volumes_confirm_ordering(self):
+        """The executable SUMMA-C moved at least the 1.5D volume in every
+        traced configuration (Sec. 4, verified end to end)."""
+        res = summa_ablation.run(SETTING)
+        measured = res.tables[-1]
+        assert len(measured) >= 3
+        for row in measured.rows:
+            assert row["summa_over_1p5d"] >= 1.0
+
+    def test_ablations_redistribution_bound(self):
+        res = ablations.run(SETTING)
+        redis = res.tables[0]
+        assert all(r["relative_to_model_step"] <= 1 / 3 + 1e-9 for r in redis.rows)
+
+    def test_ablations_memory_tradeoff_rows_present(self):
+        res = ablations.run(SETTING)
+        mem = res.tables[1]
+        grids = [r["grid"] for r in mem.rows]
+        assert "1x512" in grids and "16x32" in grids
+
+
+class TestPlacements:
+    def test_decision_rule_shifts_with_batch(self):
+        """Sec. 2.4: model placements migrate out of the convolutions as
+        the batch grows past the Eq. 5 crossovers."""
+        from repro.experiments import placements
+
+        res = placements.run(SETTING)
+        rows = {r["B"]: r for r in res.main_table().rows}
+        assert rows[4]["conv4"] == "model" and rows[4]["conv5"] == "model"
+        assert rows[2048]["conv4"] == "batch" and rows[2048]["conv5"] == "batch"
+        assert rows[2048]["fc6"] == "model" and rows[2048]["fc7"] == "model"
+
+    def test_early_layer_never_model_at_large_batch(self):
+        from repro.experiments import placements
+
+        res = placements.run(SETTING)
+        for row in res.main_table().rows:
+            if row["B"] >= 256:
+                assert row["conv1"] in ("batch", "domain")
+
+
+class TestScalingCurves:
+    def test_strong_curve_passes_batch_limit(self):
+        from repro.experiments import scaling_curves
+
+        res = scaling_curves.run(
+            SETTING, strong_processes=(128, 512, 1024), strong_batch=512,
+            weak_pairs=((128, 512),),
+        )
+        table = res.tables[0]
+        epochs = table.column("epoch_s")
+        assert epochs[0] > epochs[1] > epochs[2]
+        assert table.column("pure_batch_s")[-1] is None  # P=1024 > B
+
+
+class TestSensitivity:
+    def test_slow_network_amplifies_integration(self):
+        from repro.experiments import sensitivity
+
+        res = sensitivity.run(
+            SETTING, bandwidths_gbps=(1.0, 100.0), latencies_us=(2.0,)
+        )
+        rows = {r["bandwidth_GBps"]: r for r in res.main_table().rows}
+        assert rows[1.0]["speedup"] > rows[100.0]["speedup"]
+        assert rows[100.0]["speedup"] >= 1.0
+
+
+class TestModelCheck:
+    def test_prediction_matches_execution(self):
+        """The headline validation: Eq. 8's charge equals the executed
+        algorithm's emergent communication time within a few percent."""
+        from repro.experiments import modelcheck
+
+        res = modelcheck.run(SETTING, cases=(((256, 512, 256, 8), 64, 2, 2),
+                                             ((256, 512, 256, 8), 64, 1, 4)))
+        for row in res.main_table().rows:
+            assert 0.95 <= row["simulated_over_predicted"] <= 1.05
+
+    def test_switching_prediction_includes_eq6(self):
+        """The composed prediction — Fig. 5 collectives plus Eq. 6
+        redistribution all-gathers — matches the executed switching
+        trainer's emergent communication time."""
+        from repro.experiments import modelcheck
+
+        res = modelcheck.run(SETTING, cases=(((256, 512, 256, 8), 64, 2, 2),))
+        sw = res.tables[1]
+        assert len(sw) >= 3
+        for row in sw.rows:
+            assert 0.95 <= row["simulated_over_predicted"] <= 1.05
+
+    def test_cnn_prediction_covers_halos_and_redistribution(self):
+        """The Eq. 7/9 composition (halos incl. strided, Eq. 6
+        redistribution, Fig. 5 FC collectives) matches the executed
+        integrated CNN trainer."""
+        from repro.experiments import modelcheck
+
+        res = modelcheck.run(SETTING, cases=(((256, 512, 256, 8), 64, 2, 2),))
+        cnn = res.tables[2]
+        assert len(cnn) >= 3
+        for row in cnn.rows:
+            assert 0.9 <= row["simulated_over_predicted"] <= 1.1
+
+
+class TestRunExperiment:
+    @pytest.mark.parametrize(
+        "experiment_id", ["table1", "fig4", "eq5", "summa", "ablations", "placements"]
+    )
+    def test_cheap_experiments_render(self, experiment_id):
+        res = run_experiment(experiment_id)
+        text = res.render()
+        assert res.experiment_id == experiment_id
+        assert res.tables and text.startswith(f"=== {experiment_id}")

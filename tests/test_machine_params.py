@@ -1,0 +1,80 @@
+"""Tests for the alpha-beta machine model (repro.machine.params)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.params import MachineParams, cori_knl, generic_cluster, zero_latency
+
+
+class TestMachineParams:
+    def test_beta_is_per_element(self):
+        m = MachineParams(alpha=1e-6, beta_per_byte=1e-9, element_bytes=4)
+        assert m.beta == pytest.approx(4e-9)
+
+    def test_bandwidth_inverse_of_beta(self):
+        m = MachineParams(alpha=0.0, beta_per_byte=1.0 / 6e9)
+        assert m.bandwidth == pytest.approx(6e9)
+
+    def test_zero_beta_gives_infinite_bandwidth(self):
+        m = MachineParams(alpha=1e-6, beta_per_byte=0.0)
+        assert math.isinf(m.bandwidth)
+
+    def test_message_time(self):
+        m = MachineParams(alpha=2e-6, beta_per_byte=1.0 / 6e9, element_bytes=4)
+        assert m.message_time(0) == pytest.approx(2e-6)
+        assert m.message_time(1.5e9) == pytest.approx(2e-6 + 1.0, rel=1e-6)
+
+    def test_message_time_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            cori_knl().message_time(-1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(alpha=-1.0, beta_per_byte=1e-9),
+            dict(alpha=1e-6, beta_per_byte=-1e-9),
+            dict(alpha=1e-6, beta_per_byte=1e-9, element_bytes=0),
+            dict(alpha=1e-6, beta_per_byte=1e-9, flops_peak=0),
+        ],
+    )
+    def test_invalid_construction(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            MachineParams(**kwargs)
+
+    def test_derated_scales_both_terms(self):
+        m = cori_knl().derated(latency_factor=2.0, bandwidth_factor=0.5)
+        base = cori_knl()
+        assert m.alpha == pytest.approx(2 * base.alpha)
+        assert m.beta_per_byte == pytest.approx(2 * base.beta_per_byte)
+
+    def test_derated_rejects_nonpositive_factors(self):
+        with pytest.raises(ConfigurationError):
+            cori_knl().derated(latency_factor=0.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            cori_knl().alpha = 1.0  # type: ignore[misc]
+
+
+class TestPresets:
+    def test_cori_knl_matches_table1(self):
+        m = cori_knl()
+        assert m.alpha == pytest.approx(2e-6)
+        assert m.bandwidth == pytest.approx(6e9)
+        assert m.element_bytes == 4
+
+    def test_generic_cluster(self):
+        m = generic_cluster(latency_us=10, bandwidth_gbps=25)
+        assert m.alpha == pytest.approx(1e-5)
+        assert m.bandwidth == pytest.approx(25e9)
+
+    def test_generic_cluster_validation(self):
+        with pytest.raises(ConfigurationError):
+            generic_cluster(bandwidth_gbps=0)
+
+    def test_zero_latency(self):
+        m = zero_latency()
+        assert m.alpha == 0.0
+        assert m.message_time(100) > 0

@@ -1,0 +1,146 @@
+"""Tests for the Section-4 models: memory footprint, SUMMA comparison,
+and the Fig.-8 overlap model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.memory import memory_footprint
+from repro.core.overlap import overlapped_time
+from repro.core.strategy import Placement, ProcessGrid, Strategy
+from repro.core.summa import (
+    compare_1p5d_vs_summa,
+    summa_stationary_a_volume,
+    summa_stationary_c_volume,
+    volume_1p5d,
+)
+from repro.errors import ConfigurationError
+from repro.nn import alexnet, mlp
+
+NET = alexnet()
+
+
+class TestMemory:
+    def test_pure_batch_replicates_model(self):
+        """Sec. 4: pure data parallelism replicates the whole model."""
+        grid = ProcessGrid(1, 64)
+        fp = memory_footprint(NET, 2048, Strategy.same_grid_model(NET, grid))
+        assert fp.weights == pytest.approx(NET.total_params)
+
+    def test_pr_divides_model_replication(self):
+        """1.5D cuts model memory by Pr ..."""
+        a = memory_footprint(NET, 2048, Strategy.same_grid_model(NET, ProcessGrid(1, 64)))
+        b = memory_footprint(NET, 2048, Strategy.same_grid_model(NET, ProcessGrid(8, 8)))
+        assert b.weights == pytest.approx(a.weights / 8)
+
+    def test_pc_divides_activations(self):
+        """... at the cost of Pc-fold data replication."""
+        full = memory_footprint(NET, 2048, Strategy.same_grid_model(NET, ProcessGrid(8, 1)))
+        split = memory_footprint(NET, 2048, Strategy.same_grid_model(NET, ProcessGrid(8, 8)))
+        assert split.activations == pytest.approx(full.activations / 8)
+
+    def test_gradients_mirror_weights(self):
+        fp = memory_footprint(NET, 256, Strategy.same_grid_model(NET, ProcessGrid(4, 4)))
+        assert fp.weight_gradients == pytest.approx(fp.weights)
+
+    def test_domain_layers_divide_activations_by_pr(self):
+        grid = ProcessGrid(4, 8)
+        dom = memory_footprint(NET, 256, Strategy.conv_domain_fc_model(NET, grid))
+        mod = memory_footprint(NET, 256, Strategy.same_grid_model(NET, grid))
+        # Domain keeps full conv weights (more weight memory) but splits
+        # conv activations spatially (less activation memory).
+        assert dom.weights > mod.weights
+        assert dom.activations < mod.activations
+
+    def test_bytes_scale(self):
+        fp = memory_footprint(NET, 256, Strategy.same_grid_model(NET, ProcessGrid(1, 8)))
+        assert fp.bytes(4) == pytest.approx(4 * fp.total)
+
+    @given(pr=st.integers(1, 16), pc=st.integers(1, 16))
+    def test_total_memory_decreases_or_holds_with_more_processes(self, pr, pc):
+        base = memory_footprint(NET, 256, Strategy.same_grid_model(NET, ProcessGrid(1, 1)))
+        if pc > 256:
+            return
+        fp = memory_footprint(NET, 256, Strategy.same_grid_model(NET, ProcessGrid(pr, pc)))
+        assert fp.total <= base.total + 1e-9
+
+
+class TestSumma:
+    def test_1p5d_volume_is_activation_panel_only(self):
+        assert volume_1p5d(1000, 512, 8, 4) == pytest.approx((512 / 4) * 1000 * 7 / 8)
+
+    def test_stationary_a_matches_section4(self):
+        assert summa_stationary_a_volume(1000, 512, 8, 4) == pytest.approx(
+            2 * 512 * 1000 / 8 + 512 * 1000 / 4
+        )
+
+    def test_stationary_c_streams_both_inputs(self):
+        assert summa_stationary_c_volume(100, 200, 64, 4, 8) == pytest.approx(
+            100 * 200 / 4 + 64 * 200 / 8
+        )
+
+    def test_summa_approaches_but_never_beats_1p5d(self):
+        """Sec. 4: costs approach 1.5D when pr >> pc but never surpass it."""
+        ratios = []
+        for pr, pc in [(2, 256), (16, 32), (256, 2)]:
+            cmp = compare_1p5d_vs_summa(4096, 64, pr, pc)
+            assert not cmp.summa_ever_wins
+            ratios.append(cmp.ratio_a)
+        assert ratios[0] > ratios[-1]  # approaching as pr grows
+
+    @given(
+        d=st.floats(1, 1e7),
+        batch=st.floats(1, 1e6),
+        pr=st.integers(2, 512),
+        pc=st.integers(2, 512),
+    )
+    def test_no_regime_where_2d_wins(self, d, batch, pr, pc):
+        cmp = compare_1p5d_vs_summa(d, batch, pr, pc)
+        assert cmp.v_summa_a >= cmp.v_1p5d
+        assert cmp.v_summa_c >= cmp.v_1p5d
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            volume_1p5d(0, 10, 2, 2)
+        with pytest.raises(ConfigurationError):
+            summa_stationary_a_volume(10, 10, 0, 2)
+
+
+class TestOverlap:
+    def test_fully_hidden_when_compute_dominates(self):
+        # 2/3 of comm (=2) fits under 2/3 of compute (=20).
+        assert overlapped_time(3.0, 30.0) == pytest.approx(30.0 + 1.0)
+
+    def test_partially_hidden_when_comm_dominates(self):
+        # overlappable = 20, capacity = 2 -> exposed = 30 - 2 = 28.
+        assert overlapped_time(30.0, 3.0) == pytest.approx(3.0 + 28.0)
+
+    def test_bounds(self):
+        for comm, comp in [(1.0, 1.0), (5.0, 0.5), (0.0, 4.0), (7.0, 0.0)]:
+            t = overlapped_time(comm, comp)
+            assert comp <= t <= comm + comp + 1e-12
+
+    def test_zero_fraction_is_no_overlap(self):
+        assert overlapped_time(5.0, 2.0, overlappable_fraction=0.0) == pytest.approx(7.0)
+
+    def test_full_overlap_floor(self):
+        assert overlapped_time(5.0, 100.0, overlappable_fraction=1.0, compute_fraction=1.0) == pytest.approx(100.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(overlappable_fraction=1.5),
+            dict(overlappable_fraction=-0.1),
+            dict(compute_fraction=2.0),
+        ],
+    )
+    def test_fraction_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            overlapped_time(1.0, 1.0, **kwargs)
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ConfigurationError):
+            overlapped_time(-1.0, 1.0)
+
+    @given(comm=st.floats(0, 1e3), comp=st.floats(0, 1e3))
+    def test_overlap_never_increases_time(self, comm, comp):
+        assert overlapped_time(comm, comp) <= comm + comp + 1e-9

@@ -1,0 +1,77 @@
+"""Tests for the Section-4 communication/memory Pareto analysis."""
+
+import pytest
+
+from repro.core.costs import integrated_cost
+from repro.core.memory import memory_footprint
+from repro.core.pareto import ParetoPoint, comm_memory_frontier
+from repro.core.strategy import ProcessGrid, Strategy
+from repro.machine.params import cori_knl
+from repro.nn import alexnet
+
+NET = alexnet()
+M = cori_knl()
+
+
+class TestParetoPoint:
+    def _pt(self, comm, mem):
+        strategy = Strategy.same_grid_model(NET, ProcessGrid(1, 2))
+        return ParetoPoint(strategy, comm, mem)
+
+    def test_dominance(self):
+        assert self._pt(1.0, 1.0).dominates(self._pt(2.0, 2.0))
+        assert self._pt(1.0, 2.0).dominates(self._pt(1.0, 3.0))
+        assert not self._pt(1.0, 3.0).dominates(self._pt(2.0, 2.0))
+        assert not self._pt(1.0, 1.0).dominates(self._pt(1.0, 1.0))
+
+
+class TestFrontier:
+    @pytest.fixture(scope="class")
+    def frontier(self):
+        return comm_memory_frontier(NET, 2048, 64, M)
+
+    def test_frontier_is_mutually_nondominated(self, frontier):
+        points, _ = frontier
+        for a in points:
+            for b in points:
+                assert not a.dominates(b) or a is b
+
+    def test_frontier_sorted_memory_up_comm_down(self, frontier):
+        """Along the frontier, buying memory must buy communication."""
+        points, _ = frontier
+        assert len(points) >= 2
+        for a, b in zip(points, points[1:]):
+            assert a.memory_elements <= b.memory_elements
+            assert a.comm_time >= b.comm_time
+
+    def test_extremes_present(self, frontier):
+        """The memory-lean end has Pr > 1 (weights split); pure batch —
+        full replication — can only appear at the memory-hungry end."""
+        points, _ = frontier
+        lean = points[0]
+        assert lean.strategy.grid.pr > 1
+        assert points[-1].memory_elements >= 2 * 0.9 * NET.total_params / 64 * 1  # sanity
+
+    def test_table_flags_frontier_members(self, frontier):
+        points, table = frontier
+        flagged = [r for r in table.rows if r["on_frontier"]]
+        assert len(flagged) == len(points)
+
+    def test_values_match_direct_evaluation(self, frontier):
+        points, _ = frontier
+        pt = points[0]
+        comm = integrated_cost(NET, 2048, pt.strategy, M).total
+        mem = memory_footprint(NET, 2048, pt.strategy).total
+        assert comm == pytest.approx(pt.comm_time)
+        assert mem == pytest.approx(pt.memory_elements)
+
+    def test_best_comm_point_matches_unconstrained_search(self, frontier):
+        """The comm-lean frontier end is at least as good as every fixed
+        family's best grid (it includes the per-layer optimum)."""
+        points, _ = frontier
+        best_comm = min(pt.comm_time for pt in points)
+        for grid in ProcessGrid.factorizations(64):
+            if grid.pc > 2048:
+                continue
+            c = integrated_cost(NET, 2048, Strategy.same_grid_model(NET, grid), M).total
+            assert best_comm <= c + 1e-15

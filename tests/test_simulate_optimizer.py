@@ -1,0 +1,148 @@
+"""Tests for the simulation driver and strategy search (repro.core)."""
+
+import pytest
+
+from repro.core.optimizer import best_strategy, enumerate_grids, evaluate_grids
+from repro.core.simulate import simulate_epoch, simulate_iteration
+from repro.core.strategy import Placement, ProcessGrid, Strategy
+from repro.errors import ConfigurationError, StrategyError
+from repro.machine.compute import ComputeModel
+from repro.machine.params import cori_knl
+from repro.nn import alexnet
+
+NET = alexnet()
+M = cori_knl()
+CM = ComputeModel.knl_alexnet()
+
+
+class TestSimulateIteration:
+    def test_total_is_comm_plus_compute(self):
+        s = Strategy.same_grid_model(NET, ProcessGrid(4, 8))
+        it = simulate_iteration(NET, 256, s, M, CM)
+        assert it.total == pytest.approx(it.comm_time + it.compute_time)
+
+    def test_overlap_reduces_total(self):
+        s = Strategy.same_grid_model(NET, ProcessGrid(4, 8))
+        plain = simulate_iteration(NET, 256, s, M, CM)
+        ov = simulate_iteration(NET, 256, s, M, CM, overlap=True)
+        assert ov.total < plain.total
+        assert ov.total >= plain.compute_time
+
+    def test_compute_constant_across_grids_of_same_p(self):
+        """Same workload per process -> same compute bar (paper Sec. 3)."""
+        times = {
+            grid: simulate_iteration(
+                NET, 2048, Strategy.same_grid_model(NET, grid), M, CM
+            ).compute_time
+            for grid in ProcessGrid.factorizations(64)
+        }
+        values = set(round(v, 15) for v in times.values())
+        assert len(values) == 1
+
+    def test_batch_comm_time_subset_of_comm(self):
+        s = Strategy.same_grid_model(NET, ProcessGrid(4, 8))
+        it = simulate_iteration(NET, 256, s, M, CM)
+        assert 0 < it.batch_comm_time < it.comm_time
+
+
+class TestSimulateEpoch:
+    def test_epoch_multiplies_by_iterations(self):
+        s = Strategy.same_grid_model(NET, ProcessGrid(2, 4))
+        pt = simulate_epoch(NET, 256, s, M, CM, dataset_size=1_200_000)
+        assert pt.iterations_per_epoch == pytest.approx(1_200_000 / 256)
+        assert pt.total_epoch == pytest.approx(pt.iteration.total * pt.iterations_per_epoch)
+
+    def test_defaults_to_table_dataset(self):
+        s = Strategy.same_grid_model(NET, ProcessGrid(1, 4))
+        pt = simulate_epoch(NET, 256, s, M, CM)
+        assert pt.iterations_per_epoch == pytest.approx(1_200_000 / 256)
+
+    def test_bad_dataset_size(self):
+        s = Strategy.same_grid_model(NET, ProcessGrid(1, 4))
+        with pytest.raises(ConfigurationError):
+            simulate_epoch(NET, 256, s, M, CM, dataset_size=0)
+
+    def test_label(self):
+        s = Strategy.same_grid_model(NET, ProcessGrid(16, 32))
+        assert simulate_epoch(NET, 2048, s, M, CM).label == "16x32"
+
+
+class TestEnumerateGrids:
+    def test_batch_filter(self):
+        grids = enumerate_grids(512, batch=64)
+        assert all(g.pc <= 64 for g in grids)
+        assert ProcessGrid(8, 64) in grids
+
+    def test_max_pc_constraint(self):
+        """Sec. 4: the user may cap batch-parallel width for accuracy."""
+        grids = enumerate_grids(512, batch=2048, max_pc=32)
+        assert all(g.pc <= 32 for g in grids)
+
+    def test_pure_model_always_feasible(self):
+        # 1x7 needs B >= 7 and is dropped; 7x1 (pure model) survives.
+        grids = enumerate_grids(7, batch=2)
+        assert grids == (ProcessGrid(7, 1),)
+
+    def test_invalid_max_pc(self):
+        with pytest.raises(ConfigurationError):
+            enumerate_grids(8, max_pc=0)
+
+
+class TestEvaluateAndBest:
+    def test_evaluate_covers_all_feasible_grids(self):
+        pts = evaluate_grids(NET, 2048, 64, M, CM)
+        assert len(pts) == len(enumerate_grids(64, batch=2048))
+
+    def test_integrated_beats_pure_batch_at_large_p(self):
+        """The paper's headline: neither pure extreme is optimal at scale."""
+        pts = evaluate_grids(NET, 2048, 512, M, CM)
+        by_grid = {pt.label: pt.total_epoch for pt in pts}
+        best_label = min(by_grid, key=by_grid.get)
+        assert best_label not in ("1x512", "512x1")
+
+    def test_pure_batch_wins_at_small_p(self):
+        """Fig. 6(a): at P=8 compute dominates and integration does not pay."""
+        pts = evaluate_grids(NET, 2048, 8, M, CM)
+        best = min(pts, key=lambda p: p.total_epoch)
+        assert best.strategy.grid.pr == 1
+
+    def test_conv_batch_family_beats_uniform_family_at_512(self):
+        """Fig. 7 improves on Fig. 6."""
+        uniform = min(
+            evaluate_grids(NET, 2048, 512, M, CM, family=Strategy.same_grid_model),
+            key=lambda p: p.total_epoch,
+        )
+        improved = min(
+            evaluate_grids(NET, 2048, 512, M, CM, family=Strategy.conv_batch_fc_model),
+            key=lambda p: p.total_epoch,
+        )
+        assert improved.total_epoch < uniform.total_epoch
+
+    def test_best_strategy_returns_feasible_choice(self):
+        choice = best_strategy(NET, 2048, 512, M, CM)
+        assert choice.grid.p == 512
+        assert choice.total_epoch > 0
+
+    def test_best_strategy_never_worse_than_pure_batch(self):
+        pure = evaluate_grids(NET, 2048, 512, M, CM)[0]
+        assert pure.strategy.grid.pr == 1
+        choice = best_strategy(NET, 2048, 512, M, CM)
+        assert choice.total_epoch <= pure.total_epoch
+
+    def test_best_strategy_scales_beyond_batch_with_domain(self):
+        """P > B is only feasible via domain/model splits (Fig. 10)."""
+        choice = best_strategy(NET, 512, 1024, M, CM, allow_domain=True)
+        assert choice.grid.p == 1024
+        assert choice.grid.pr > 1
+
+    def test_best_strategy_respects_max_pc(self):
+        choice = best_strategy(NET, 2048, 512, M, CM, max_pc=16)
+        assert choice.grid.pc <= 16
+
+    def test_conv_pure_batch_flag(self):
+        choice = best_strategy(NET, 2048, 512, M, CM, conv_pure_batch=True)
+        placements = choice.strategy.placements
+        kinds = [w.kind for w in NET.weighted_layers]
+        for kind, pl in zip(kinds, placements):
+            if kind == "conv":
+                assert pl is Placement.BATCH

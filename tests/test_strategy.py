@@ -1,0 +1,104 @@
+"""Tests for process grids and strategies (repro.core.strategy)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.strategy import Placement, ProcessGrid, Strategy
+from repro.errors import ConfigurationError, StrategyError
+from repro.nn import alexnet, mlp
+
+
+NET = alexnet()
+
+
+class TestProcessGrid:
+    def test_p_is_product(self):
+        assert ProcessGrid(16, 32).p == 512
+
+    def test_pure_flags(self):
+        assert ProcessGrid.pure_batch(8).is_pure_batch
+        assert ProcessGrid.pure_model(8).is_pure_model
+        assert not ProcessGrid(2, 4).is_pure_batch
+
+    def test_factorizations_of_12(self):
+        grids = ProcessGrid.factorizations(12)
+        assert [(g.pr, g.pc) for g in grids] == [
+            (1, 12), (2, 6), (3, 4), (4, 3), (6, 2), (12, 1)
+        ]
+
+    def test_factorizations_of_prime(self):
+        assert [(g.pr, g.pc) for g in ProcessGrid.factorizations(7)] == [(1, 7), (7, 1)]
+
+    @given(p=st.integers(1, 500))
+    def test_factorizations_cover_all_divisor_pairs(self, p):
+        grids = ProcessGrid.factorizations(p)
+        assert all(g.p == p for g in grids)
+        divisors = [d for d in range(1, p + 1) if p % d == 0]
+        assert len(grids) == len(divisors)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            ProcessGrid(0, 4)
+        with pytest.raises(ConfigurationError):
+            ProcessGrid.factorizations(0)
+
+    def test_str(self):
+        assert str(ProcessGrid(16, 32)) == "16x32"
+
+
+class TestStrategy:
+    def test_uniform_covers_all_layers(self):
+        s = Strategy.same_grid_model(NET, ProcessGrid(2, 4))
+        assert len(s.placements) == NET.num_weighted
+        assert all(p is Placement.MODEL for p in s.placements)
+
+    def test_conv_batch_fc_model(self):
+        s = Strategy.conv_batch_fc_model(NET, ProcessGrid(2, 4))
+        kinds = [w.kind for w in NET.weighted_layers]
+        for kind, pl in zip(kinds, s.placements):
+            assert pl is (Placement.BATCH if kind == "conv" else Placement.MODEL)
+
+    def test_conv_domain_fc_model(self):
+        s = Strategy.conv_domain_fc_model(NET, ProcessGrid(2, 4))
+        assert s.uses_domain
+        assert len(s.domain_layer_indices) == 5
+        assert len(s.model_layer_indices) == 3
+
+    def test_from_layer_sets(self):
+        s = Strategy.from_layer_sets(
+            NET,
+            ProcessGrid(2, 4),
+            model_layers=["fc6", "fc7", "fc8"],
+            domain_layers=["conv1", "conv2"],
+        )
+        assert s.batch_layer_indices == (2, 3, 4)  # conv3..conv5
+
+    def test_from_layer_sets_rejects_overlap(self):
+        with pytest.raises(StrategyError):
+            Strategy.from_layer_sets(
+                NET, ProcessGrid(2, 2), model_layers=["fc6"], domain_layers=["fc6"]
+            )
+
+    def test_from_layer_sets_rejects_unknown(self):
+        with pytest.raises(StrategyError):
+            Strategy.from_layer_sets(NET, ProcessGrid(2, 2), model_layers=["fc99"])
+
+    def test_check_matches(self):
+        s = Strategy.same_grid_model(NET, ProcessGrid(2, 2))
+        s.check_matches(NET)
+        other = mlp([10, 5, 2])
+        with pytest.raises(StrategyError):
+            s.check_matches(other)
+
+    def test_empty_placements_rejected(self):
+        with pytest.raises(StrategyError):
+            Strategy(ProcessGrid(1, 1), ())
+
+    def test_non_placement_rejected(self):
+        with pytest.raises(StrategyError):
+            Strategy(ProcessGrid(1, 1), ("model",))  # type: ignore[arg-type]
+
+    def test_describe(self):
+        s = Strategy.conv_batch_fc_model(NET, ProcessGrid(16, 32))
+        text = s.describe()
+        assert "16x32" in text and "batch:5" in text and "model:3" in text

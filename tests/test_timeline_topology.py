@@ -1,0 +1,135 @@
+"""Tests for the trace timeline renderer and the topology presets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.params import cori_knl
+from repro.machine.topology import dragonfly, fat_tree, torus3d
+from repro.report.timeline import render_timeline, traffic_matrix
+from repro.simmpi.engine import SimEngine
+
+
+def traced_run(size, prog):
+    engine = SimEngine(size, cori_knl(), trace=True)
+    engine.run(prog)
+    return engine.tracer.events
+
+
+class TestTimeline:
+    def test_renders_one_row_per_rank(self):
+        def prog(comm):
+            comm.allreduce(np.ones(1000, dtype=np.float32))
+
+        events = traced_run(4, prog)
+        text = render_timeline(events)
+        assert text.count("rank") == 4
+        assert "s" in text and "r" in text
+
+    def test_empty_trace(self):
+        assert "no point-to-point" in render_timeline([])
+
+    def test_width_validation(self):
+        with pytest.raises(ConfigurationError):
+            render_timeline([], width=2)
+
+    def test_idle_rank_is_dots(self):
+        def prog(comm):
+            if comm.rank < 2:
+                if comm.rank == 0:
+                    comm.send(np.ones(100), 1)
+                else:
+                    comm.recv(0)
+
+        events = traced_run(3, prog)
+        text = render_timeline(events, ranks=[2])
+        row = [l for l in text.splitlines() if l.startswith("rank   2")][0]
+        assert set(row.split("|")[1]) == {"."}
+
+
+class TestTrafficMatrix:
+    def test_ring_allreduce_talks_to_neighbours_only(self):
+        """The ring's structure, read off the trace: every rank sends
+        only to (rank + 1) mod P."""
+
+        def prog(comm):
+            comm.allreduce(np.ones(4000, dtype=np.float32), algorithm="ring")
+
+        events = traced_run(4, prog)
+        matrix = traffic_matrix(events)
+        for src, row in matrix.items():
+            assert set(row) == {(src + 1) % 4}
+
+    def test_halo_exchange_talks_to_both_neighbours(self):
+        from repro.dist.conv_domain import DomainConv2D
+        from repro.dist.partition import BlockPartition
+
+        x = np.random.default_rng(0).standard_normal((1, 2, 8, 4))
+        part = BlockPartition(8, 4)
+
+        def prog(comm):
+            op = DomainConv2D(comm, 8, 3, 3)
+            op.forward(part.take(x, comm.rank, axis=2), np.zeros((2, 2, 3, 3)))
+
+        matrix = traffic_matrix(traced_run(4, prog))
+        assert set(matrix[1]) == {0, 2}
+        assert set(matrix[0]) == {1}
+        assert set(matrix[3]) == {2}
+
+    def test_volumes_symmetric_for_stride1_halo(self):
+        from repro.dist.conv_domain import DomainConv2D
+        from repro.dist.partition import BlockPartition
+
+        x = np.random.default_rng(0).standard_normal((1, 2, 8, 4))
+        part = BlockPartition(8, 2)
+
+        def prog(comm):
+            op = DomainConv2D(comm, 8, 3, 3)
+            op.forward(part.take(x, comm.rank, axis=2), np.zeros((2, 2, 3, 3)))
+
+        matrix = traffic_matrix(traced_run(2, prog))
+        assert matrix[0][1] == matrix[1][0]
+
+
+class TestTopologyPresets:
+    BASE = cori_knl()
+
+    def test_fat_tree_derates_both(self):
+        m = fat_tree(self.BASE, levels=3, utilization=0.5)
+        assert m.alpha == pytest.approx(3 * self.BASE.alpha)
+        assert m.bandwidth == pytest.approx(0.5 * self.BASE.bandwidth)
+
+    def test_dragonfly(self):
+        m = dragonfly(self.BASE, global_contention=0.5)
+        assert m.alpha == pytest.approx(2 * self.BASE.alpha)
+        assert m.bandwidth == pytest.approx(0.5 * self.BASE.bandwidth)
+
+    def test_torus_latency_grows_with_size(self):
+        small = torus3d(self.BASE, nodes=64)
+        big = torus3d(self.BASE, nodes=4096)
+        assert big.alpha > small.alpha
+
+    @pytest.mark.parametrize(
+        "fn,kwargs",
+        [
+            (fat_tree, dict(levels=0)),
+            (fat_tree, dict(utilization=0.0)),
+            (dragonfly, dict(global_contention=1.5)),
+            (torus3d, dict(nodes=0)),
+            (torus3d, dict(nodes=8, link_sharing=0)),
+        ],
+    )
+    def test_validation(self, fn, kwargs):
+        with pytest.raises(ConfigurationError):
+            fn(self.BASE, **kwargs)
+
+    def test_derated_machine_slows_the_cost_model(self):
+        """Folding topology into (alpha, beta) flows straight through
+        the Eq. 4 cost — the paper's Limitations prescription."""
+        from repro.core.costs import batch_parallel_cost
+        from repro.nn import alexnet
+
+        net = alexnet()
+        base_cost = batch_parallel_cost(net, 64, self.BASE).total
+        slow_cost = batch_parallel_cost(net, 64, dragonfly(self.BASE)).total
+        assert slow_cost > base_cost
