@@ -75,6 +75,28 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the ordered per-iteration communication schedule",
     )
+
+    faults_p = sub.add_parser(
+        "faults",
+        help="fault-injection demo: crash a rank mid-training, shrink, recover",
+    )
+    faults_p.add_argument(
+        "--plan",
+        default=None,
+        help="JSON FaultPlan file (default: a built-in demo plan)",
+    )
+    faults_p.add_argument(
+        "--ranks", type=int, default=4, help="world size (default 4)"
+    )
+    faults_p.add_argument(
+        "--steps", type=int, default=8, help="training steps (default 8)"
+    )
+    faults_p.add_argument(
+        "--seed", type=int, default=0, help="data/init seed (default 0)"
+    )
+    faults_p.add_argument(
+        "--width", type=int, default=72, help="timeline width in columns"
+    )
     return parser
 
 
@@ -140,9 +162,84 @@ def _run_best(args) -> int:
         print()
         print(plan.to_table().to_ascii())
         print(
-            f"  blocking (critical-path) communication: "
+            "  blocking (critical-path) communication: "
             f"{format_seconds(plan.blocking_time)} of {format_seconds(plan.total_time)}"
         )
+    return 0
+
+
+def _run_faults(args) -> int:
+    import numpy as np
+
+    from repro.dist.elastic import elastic_mlp_train, replan_grid
+    from repro.dist.train import MLPParams, serial_mlp_train
+    from repro.machine.params import cori_knl
+    from repro.report.timeline import render_fault_log, render_timeline
+    from repro.simmpi.faults import Crash, FaultPlan, LinkFault, Straggler
+
+    if args.ranks < 2:
+        print("faults demo needs at least 2 ranks", file=sys.stderr)
+        return 2
+    if args.plan is not None:
+        from repro.errors import ConfigurationError
+
+        try:
+            with open(args.plan, "r", encoding="utf-8") as fh:
+                plan = FaultPlan.from_json(fh.read())
+        except (OSError, ValueError, ConfigurationError) as exc:
+            print(f"bad fault plan {args.plan!r}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        # Built-in demo: one mid-run crash, one degraded link, one mild
+        # straggler — enough to show detection, shrink and resumption.
+        plan = FaultPlan(
+            seed=args.seed,
+            crashes=(Crash(rank=1, at_step=max(1, args.steps // 2)),),
+            links=(LinkFault(src=0, dst=2, latency_factor=4.0, bandwidth_factor=0.5),),
+            stragglers=(Straggler(rank=0, factor=1.3),),
+        )
+    dims = (8, 10, 6)
+    batch = 8
+    rng = np.random.default_rng(args.seed)
+    x = rng.standard_normal((dims[0], 4 * batch))
+    y = rng.integers(0, dims[-1], 4 * batch)
+    params0 = MLPParams.init(dims, seed=args.seed)
+    pr, pc = replan_grid(args.ranks, dims, batch, cori_knl())
+    print(f"world   : {args.ranks} ranks as a {pr}x{pc} grid, {args.steps} steps")
+    print(
+        f"plan    : {len(plan.crashes)} crash(es), {len(plan.transients)} "
+        f"transient(s), {len(plan.drops)} drop(s), {len(plan.links)} link "
+        f"fault(s), {len(plan.stragglers)} straggler(s)  [seed {plan.seed}]"
+    )
+    result = elastic_mlp_train(
+        params0, x, y, pr=pr, pc=pc, batch=batch, steps=args.steps,
+        checkpoint_every=2, faults=plan, trace=True,
+    )
+    events = result.engine.tracer.canonical()
+    print()
+    print("fault log:")
+    print(render_fault_log(events))
+    print()
+    print(render_timeline(events, width=args.width))
+    print()
+    if result.recovered:
+        for (gpr, gpc), at in zip(result.grids[1:], result.restore_steps):
+            print(
+                f"recovery: shrank to a {gpr}x{gpc} grid, resumed from the "
+                f"step-{at} checkpoint"
+            )
+    else:
+        print("recovery: none needed")
+    print(f"failed ranks   : {list(result.sim.failed) or 'none'}")
+    print(f"final loss     : {result.losses[-1]:.6f}")
+    ref_params, _ = serial_mlp_train(
+        params0, x, y, batch=batch, steps=args.steps
+    )
+    dev = max(
+        float(np.max(np.abs(w - r)))
+        for w, r in zip(result.weights, ref_params.weights)
+    )
+    print(f"max |w - serial|: {dev:.3e}")
     return 0
 
 
@@ -183,6 +280,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "best":
         return _run_best(args)
+    if args.command == "faults":
+        return _run_faults(args)
     # run
     ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for experiment_id in ids:

@@ -51,6 +51,12 @@ from repro.dist.switching import (
     distributed_switching_mlp_train,
     switching_mlp_train_program,
 )
+from repro.dist.elastic import (
+    Checkpoint,
+    ElasticResult,
+    elastic_mlp_train,
+    replan_grid,
+)
 from repro.dist.evaluate import distributed_mlp_accuracy, mlp_accuracy, mlp_predict
 from repro.dist.summa2d import distribute_2d, summa_matmul, summa_stationary_c
 
@@ -73,6 +79,10 @@ __all__ = [
     "MLPParams",
     "serial_mlp_train",
     "distributed_mlp_train",
+    "Checkpoint",
+    "ElasticResult",
+    "elastic_mlp_train",
+    "replan_grid",
     "mlp_train_program",
     "IntegratedCNNConfig",
     "serial_cnn_train",

@@ -74,7 +74,7 @@ class DomainConv2D:
             raise ConfigurationError("kernel dims must be >= 1")
         if kernel_h % 2 == 0 or kernel_w % 2 == 0:
             raise ConfigurationError(
-                f"domain-parallel convolution needs odd kernels for same padding, "
+                "domain-parallel convolution needs odd kernels for same padding, "
                 f"got {kernel_h}x{kernel_w}"
             )
         if stride < 1:

@@ -1,0 +1,348 @@
+"""Elastic, fault-tolerant 1.5D MLP training.
+
+Builds on the supervised fault mode of :class:`~repro.simmpi.engine.SimEngine`:
+ranks train exactly as :func:`~repro.dist.train.mlp_train_program` does,
+but additionally
+
+* take periodic **in-simulation checkpoints** — every rank assembles the
+  full weights (and momentum buffers) by all-gathering the 1.5D row
+  blocks over its column group, so the complete optimizer state is
+  replicated on every rank, and
+* survive injected rank crashes: when a peer failure surfaces as
+  :class:`~repro.errors.PeerFailedError`, the survivors ``shrink`` the
+  world ULFM-style, agree on the newest checkpoint everyone still
+  holds, re-plan the process grid to the best surviving ``Pr' x Pc'``
+  factorization under the paper's Eq. 8 cost model, restore, and
+  resume.
+
+Because checkpoints capture the exact bit pattern of weights, velocity
+and the (purely step-indexed) batch cursor, a recovered run continues
+the *same* synchronous-SGD trajectory: its final weights match an
+uninterrupted reference continued from the same checkpoint to
+floating-point reduction-order accuracy, and the whole scenario is
+deterministic given the :class:`~repro.simmpi.faults.FaultPlan` seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.costs import integrated_mb_cost
+from repro.core.strategy import ProcessGrid
+from repro.dist.grid import GridComm
+from repro.dist.layers import relu, relu_grad
+from repro.dist.loss import softmax_cross_entropy
+from repro.dist.matmul15d import backward_dw_15d, backward_dx_15d, forward_15d
+from repro.dist.partition import BlockPartition
+from repro.dist.sgd import SGD
+from repro.dist.train import MLPParams, _batch_columns
+from repro.errors import ConfigurationError, PeerFailedError, ShapeError, StrategyError
+from repro.machine.params import MachineParams, cori_knl
+from repro.nn.zoo import mlp
+from repro.simmpi.engine import SimEngine, SimResult
+
+__all__ = [
+    "Checkpoint",
+    "ElasticResult",
+    "replan_grid",
+    "elastic_mlp_program",
+    "elastic_mlp_train",
+]
+
+
+@dataclasses.dataclass
+class Checkpoint:
+    """Replicated training state at a step boundary.
+
+    Captures everything needed to resume step ``step`` on *any* process
+    grid: the full (unpartitioned) weights, the full momentum buffers
+    (``None`` when momentum is off), and the global losses of the steps
+    already taken.  The batch cursor needs no storage — batch schedules
+    are pure functions of the step index.
+    """
+
+    step: int
+    weights: List[np.ndarray]
+    velocity: Optional[List[np.ndarray]]
+    losses: Tuple[float, ...]
+
+    def copy(self) -> "Checkpoint":
+        return Checkpoint(
+            self.step,
+            [w.copy() for w in self.weights],
+            None if self.velocity is None else [v.copy() for v in self.velocity],
+            self.losses,
+        )
+
+
+@dataclasses.dataclass
+class ElasticResult:
+    """Outcome of an elastic training run.
+
+    ``grids`` is the grid history (initial shape first, then one entry
+    per completed recovery); ``restore_steps`` lists the checkpoint step
+    each recovery resumed from.
+    """
+
+    weights: List[np.ndarray]
+    losses: List[float]
+    sim: SimResult
+    grids: List[Tuple[int, int]]
+    restore_steps: List[int]
+    engine: SimEngine
+
+    @property
+    def recovered(self) -> bool:
+        return bool(self.restore_steps)
+
+
+def replan_grid(
+    p: int,
+    dims: Sequence[int],
+    batch: int,
+    machine: MachineParams,
+) -> Tuple[int, int]:
+    """The cheapest feasible ``Pr x Pc`` grid for ``p`` survivors.
+
+    Scores every factorization of ``p`` with the integrated
+    model+batch cost model (Eq. 8) for the MLP defined by ``dims`` and
+    picks the minimum; ties break toward smaller ``Pr``.  A grid is
+    feasible when every layer has at least one weight row per model
+    rank (``pr <= min(dims[1:])``) and every batch column group at
+    least one sample (``pc <= batch``).
+    """
+    network = mlp(dims)
+    best: Optional[Tuple[float, int, int]] = None
+    for grid in ProcessGrid.factorizations(p):
+        if grid.pr > min(dims[1:]) or grid.pc > batch:
+            continue
+        try:
+            cost = integrated_mb_cost(network, float(batch), grid, machine).total
+        except StrategyError:  # pragma: no cover - filtered above
+            continue
+        key = (cost, grid.pr, grid.pc)
+        if best is None or key < best:
+            best = key
+    if best is None:
+        raise ConfigurationError(
+            f"no feasible grid for {p} survivors (dims={tuple(dims)}, batch={batch})"
+        )
+    return best[1], best[2]
+
+
+def _full_blocks(grid: GridComm, blocks: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Assemble full matrices from row blocks via the column groups.
+
+    Every member of a column group holds all ``Pr`` row blocks, so the
+    assembled copies are replicated on every rank of the grid.
+    """
+    return [np.vstack(grid.col_comm.allgather_object(b)) for b in blocks]
+
+
+def _take_checkpoint(
+    grid: GridComm,
+    step: int,
+    w_locals: Sequence[np.ndarray],
+    opt: SGD,
+    losses: Sequence[float],
+    momentum: float,
+) -> Checkpoint:
+    full_w = _full_blocks(grid, w_locals)
+    full_v: Optional[List[np.ndarray]] = None
+    if momentum:
+        state = opt.get_state()
+        vels = [state.get(i, np.zeros_like(w)) for i, w in enumerate(w_locals)]
+        full_v = _full_blocks(grid, vels)
+    return Checkpoint(step, full_w, full_v, tuple(losses))
+
+
+def _restore(
+    ckpt: Checkpoint,
+    grid: GridComm,
+    row_parts: Sequence[BlockPartition],
+    lr: float,
+    momentum: float,
+    weight_decay: float,
+) -> Tuple[List[np.ndarray], SGD, List[float]]:
+    w_locals = [
+        part.take(w, grid.row, axis=0).copy()
+        for part, w in zip(row_parts, ckpt.weights)
+    ]
+    opt = SGD(lr=lr, momentum=momentum, weight_decay=weight_decay)
+    if ckpt.velocity is not None:
+        opt.set_state(
+            {
+                i: part.take(v, grid.row, axis=0)
+                for i, (part, v) in enumerate(zip(row_parts, ckpt.velocity))
+            }
+        )
+    return w_locals, opt, list(ckpt.losses)
+
+
+def elastic_mlp_program(
+    world,
+    params0: MLPParams,
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    pr: int,
+    pc: int,
+    batch: int,
+    steps: int,
+    lr: float = 0.05,
+    momentum: float = 0.0,
+    weight_decay: float = 0.0,
+    checkpoint_every: int = 2,
+    schedule=None,
+    lr_schedule=None,
+    machine: Optional[MachineParams] = None,
+):
+    """The SPMD rank program for elastic 1.5D MLP training.
+
+    Returns ``(losses, full_weights, grids, restore_steps)`` on every
+    surviving rank.  The training loop is the synchronous-SGD loop of
+    :func:`~repro.dist.train.mlp_train_program`; a heartbeat at the top
+    of each step fires this rank's scripted crashes, and any
+    :class:`~repro.errors.PeerFailedError` (surfacing deterministically
+    from communication with a dead or recovering peer) triggers the
+    shrink / agree / re-plan / restore sequence.
+    """
+    if machine is None:
+        machine = cori_knl()
+    dims = params0.dims
+    n = x.shape[1]
+    num_layers = len(params0.weights)
+    # Step-0 checkpoint: built locally from the shared initialisation, so
+    # every rank holds it and recovery always has a common restore point.
+    ckpts = {
+        0: Checkpoint(0, [w.copy() for w in params0.weights], None, ())
+    }
+    grids: List[Tuple[int, int]] = [(pr, pc)]
+    restores: List[int] = []
+    start = 0
+    cur_pr, cur_pc = pr, pc
+    while True:
+        try:
+            grid = GridComm(world, cur_pr, cur_pc)
+            row_parts = [BlockPartition(d, grid.pr) for d in dims[1:]]
+            col_part = BlockPartition(batch, grid.pc)
+            w_locals, opt, losses = _restore(
+                ckpts[start], grid, row_parts, lr, momentum, weight_decay
+            )
+            for step in range(start, steps):
+                world.heartbeat(step=step)
+                if checkpoint_every and step % checkpoint_every == 0 and step > start:
+                    ckpts[step] = _take_checkpoint(
+                        grid, step, w_locals, opt, losses, momentum
+                    )
+                if lr_schedule is not None:
+                    opt.lr = float(lr_schedule(step))
+                cols = _batch_columns(step, batch, n, schedule)
+                my_cols = col_part.take(cols, grid.col)
+                a_local = x[:, my_cols]
+                yb_local = y[my_cols]
+                acts = [a_local]
+                zs = []
+                for i in range(num_layers):
+                    z = forward_15d(grid, w_locals[i], acts[-1])
+                    zs.append(z)
+                    acts.append(relu(z) if i < num_layers - 1 else z)
+                loss_local, dz = softmax_cross_entropy(
+                    zs[-1], yb_local, global_batch=batch
+                )
+                loss_global = float(
+                    grid.row_comm.allreduce(np.array([loss_local]), algorithm="ring")[0]
+                )
+                losses.append(loss_global)
+                grads: List[Optional[np.ndarray]] = [None] * num_layers
+                for i in range(num_layers - 1, -1, -1):
+                    dy_rows = row_parts[i].take(dz, grid.row, axis=0)
+                    grads[i] = backward_dw_15d(grid, dy_rows, acts[i])
+                    if i > 0:
+                        da = backward_dx_15d(grid, w_locals[i], dy_rows)
+                        dz = relu_grad(zs[i - 1], da)
+                opt.step(w_locals, grads)  # type: ignore[arg-type]
+            full_weights = _full_blocks(grid, w_locals)
+            return losses, full_weights, grids, restores
+        except PeerFailedError:
+            # ULFM-style recovery: shrink to the survivors, agree on the
+            # newest checkpoint everyone holds, re-plan the grid for the
+            # new world size, and restore.  A further crash anywhere in
+            # this sequence re-raises PeerFailedError and retries.
+            world = world.shrink()
+            held = world.allgather_object(sorted(ckpts))
+            common = set(held[0]).intersection(*map(set, held[1:]))
+            start = max(common)
+            ckpts = {s: c for s, c in ckpts.items() if s <= start}
+            cur_pr, cur_pc = replan_grid(world.size, dims, batch, machine)
+            grids.append((cur_pr, cur_pc))
+            restores.append(start)
+
+
+def elastic_mlp_train(
+    params0: MLPParams,
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    pr: int,
+    pc: int,
+    batch: int,
+    steps: int,
+    lr: float = 0.05,
+    momentum: float = 0.0,
+    weight_decay: float = 0.0,
+    checkpoint_every: int = 2,
+    schedule=None,
+    lr_schedule=None,
+    faults=None,
+    machine: Optional[MachineParams] = None,
+    trace: bool = False,
+    timeout: float = 30.0,
+) -> ElasticResult:
+    """Train elastically on a supervised ``pr x pc`` simulation.
+
+    ``faults`` is a :class:`~repro.simmpi.faults.FaultPlan` (or
+    injector); with ``None`` or an empty plan the run is numerically
+    identical to :func:`~repro.dist.train.distributed_mlp_train`.
+    Raises :class:`~repro.errors.RankFailedError` if every rank dies.
+    """
+    if x.ndim != 2:
+        raise ShapeError(f"x must be (features, samples), got {x.shape}")
+    if batch < 1 or batch > x.shape[1]:
+        raise ConfigurationError(f"batch {batch} must lie in [1, {x.shape[1]}]")
+    if checkpoint_every < 1:
+        raise ConfigurationError(
+            f"checkpoint_every must be >= 1, got {checkpoint_every}"
+        )
+    engine = SimEngine(
+        pr * pc, machine, trace=trace, faults=faults, supervise=True, timeout=timeout
+    )
+    result = engine.run(
+        elastic_mlp_program,
+        params0,
+        x,
+        y,
+        pr=pr,
+        pc=pc,
+        batch=batch,
+        steps=steps,
+        lr=lr,
+        momentum=momentum,
+        weight_decay=weight_decay,
+        checkpoint_every=checkpoint_every,
+        schedule=schedule,
+        lr_schedule=lr_schedule,
+        machine=engine.network.machine,
+    )
+    losses, weights, grids, restores = result.values[result.survivors[0]]
+    return ElasticResult(
+        weights=weights,
+        losses=list(losses),
+        sim=result,
+        grids=list(grids),
+        restore_steps=list(restores),
+        engine=engine,
+    )

@@ -65,3 +65,16 @@ class SGD:
     def reset(self) -> None:
         """Drop momentum state (e.g. between independent training runs)."""
         self._velocity.clear()
+
+    def get_state(self) -> Dict[int, np.ndarray]:
+        """Copy of the momentum buffers, keyed by parameter index.
+
+        Parameters that have not accumulated velocity yet are absent;
+        restoring such a state recreates the optimizer exactly (used by
+        the elastic trainer's checkpoints).
+        """
+        return {i: v.copy() for i, v in self._velocity.items()}
+
+    def set_state(self, state: Dict[int, np.ndarray]) -> None:
+        """Restore momentum buffers from :meth:`get_state` (values copied)."""
+        self._velocity = {i: np.array(v, copy=True) for i, v in state.items()}

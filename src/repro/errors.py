@@ -76,3 +76,55 @@ class RankFailedError(SimMPIError):
 
 class CommunicatorError(SimMPIError):
     """Misuse of a communicator (bad rank, tag, or buffer)."""
+
+
+class TransientCommError(SimMPIError):
+    """A send kept failing transiently and exhausted its retry budget.
+
+    Raised by :meth:`~repro.simmpi.communicator.Comm.send` after
+    ``max_retries`` exponential-backoff retries, mirroring how a real
+    transport surfaces a link that stays flaky past the retry policy.
+    """
+
+    def __init__(self, src: int, dst: int, attempts: int):
+        self.src = src
+        self.dst = dst
+        self.attempts = attempts
+        super().__init__(
+            f"send {src} -> {dst} failed transiently {attempts} time(s); "
+            "retry budget exhausted"
+        )
+
+
+class SimulatedCrashError(SimMPIError):
+    """An injected rank crash (from a :class:`~repro.simmpi.faults.FaultPlan`).
+
+    In a supervised engine this marks the rank dead without aborting the
+    whole run; survivors observe :class:`PeerFailedError` and may
+    ``shrink`` their communicator ULFM-style and continue.
+    """
+
+    def __init__(self, rank: int, step=None, at_time=None):
+        self.rank = rank
+        self.step = step
+        self.at_time = at_time
+        where = f" at step {step}" if step is not None else ""
+        when = f" at t={at_time:g}s" if at_time is not None else ""
+        super().__init__(f"injected crash of rank {rank}{where}{when}")
+
+
+class PeerFailedError(SimMPIError):
+    """A communication partner died while this rank was communicating.
+
+    Only raised in a supervised engine: surviving ranks receive it from
+    any pending or subsequent communication call once a peer has
+    crashed, and are expected to recover (e.g. via
+    :meth:`~repro.simmpi.communicator.Comm.shrink`).
+    """
+
+    def __init__(self, dead_ranks):
+        self.dead_ranks = tuple(sorted(dead_ranks))
+        super().__init__(
+            f"peer rank(s) {list(self.dead_ranks)} failed; "
+            "communicator must be shrunk before continuing"
+        )

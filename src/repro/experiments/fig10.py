@@ -126,7 +126,7 @@ def run(
     if len(domain_rows) >= 2:
         first, last = domain_rows[0], domain_rows[-1]
         result.notes.append(
-            f"measured: domain-integrated epoch time falls from "
+            "measured: domain-integrated epoch time falls from "
             f"{first['total_s']:.1f}s at P={first['P']} to {last['total_s']:.1f}s "
             f"at P={last['P']} (scaling continues beyond P=B={batch})"
         )

@@ -94,7 +94,7 @@ def run(
         )
     result.tables.append(table)
     result.notes.append(
-        f"measured: simulated/predicted per-iteration communication within "
+        "measured: simulated/predicted per-iteration communication within "
         f"{(worst_ratio - 1) * 100:.1f}% across all cases"
     )
 
@@ -102,7 +102,7 @@ def run(
     sw_table, sw_worst = _switching_check(machine, steps)
     result.tables.append(sw_table)
     result.notes.append(
-        f"measured (switching trainer, Eq. 6 redistributions included): "
+        "measured (switching trainer, Eq. 6 redistributions included): "
         f"within {(sw_worst - 1) * 100:.1f}%"
     )
 
@@ -110,7 +110,7 @@ def run(
     cnn_table, cnn_worst = _integrated_cnn_check(machine, steps)
     result.tables.append(cnn_table)
     result.notes.append(
-        f"measured (integrated CNN: halos + redistribution + 1.5D FCs): "
+        "measured (integrated CNN: halos + redistribution + 1.5D FCs): "
         f"within {(cnn_worst - 1) * 100:.1f}%"
     )
     return result

@@ -35,7 +35,7 @@ def bar_chart(
     vmax = max(values)
     if vmax < 0:
         raise ConfigurationError("bar values must be >= 0")
-    label_w = max(len(l) for l in labels)
+    label_w = max(len(lab) for lab in labels)
     lines = [title] if title else []
     for label, value in zip(labels, values):
         n = 0 if vmax == 0 else round(width * value / vmax)
@@ -75,7 +75,7 @@ def stacked_bar_chart(
     totals = [sum(seg.values()) for seg in segments]
     vmax = max(totals)
     best = min(range(len(totals)), key=totals.__getitem__)
-    label_w = max(len(l) for l in labels)
+    label_w = max(len(lab) for lab in labels)
     lines = [title] if title else []
     legend = "  ".join(f"{chars[n]}={n}" for n in names)
     lines.append(f"{'':>{label_w}}   [{legend}]")

@@ -14,7 +14,7 @@ from repro.errors import ConfigurationError
 from repro.report.tables import format_seconds
 from repro.simmpi.tracing import TraceEvent
 
-__all__ = ["render_timeline", "traffic_matrix"]
+__all__ = ["render_timeline", "render_fault_log", "traffic_matrix"]
 
 
 def render_timeline(
@@ -28,28 +28,32 @@ def render_timeline(
     Each rank gets one row spanning ``[0, t_max]``; receive intervals
     (which include waiting for the message) paint ``r``, send instants
     paint ``s``, idle stays ``.``.  Overlapping send/receive shows
-    ``x``.
+    ``x``; fault events (crashes, retries, recoveries, ...) overprint
+    ``!`` wherever they land.
     """
     if width < 10:
         raise ConfigurationError(f"width must be >= 10, got {width}")
-    events = [e for e in events if e.op in ("send", "recv")]
-    if not events:
+    p2p = [e for e in events if e.op in ("send", "recv")]
+    faults = [e for e in events if e.is_fault]
+    if not p2p and not faults:
         return "(no point-to-point traffic recorded)"
-    t_max = max(e.t_end for e in events)
+    t_max = max(e.t_end for e in p2p + faults)
     if t_max <= 0:
         return "(all traffic at virtual time zero)"
-    all_ranks = sorted({e.rank for e in events}) if ranks is None else list(ranks)
+    all_ranks = (
+        sorted({e.rank for e in p2p + faults}) if ranks is None else list(ranks)
+    )
 
     def col(t: float) -> int:
         return min(width - 1, int(width * t / t_max))
 
     lines = [
         f"virtual time 0 .. {format_seconds(t_max)}  "
-        f"[s=send  r=recv/wait  x=both  .=idle]"
+        "[s=send  r=recv/wait  x=both  !=fault  .=idle]"
     ]
     for rank in all_ranks:
         row = ["."] * width
-        for e in events:
+        for e in p2p:
             if e.rank != rank:
                 continue
             if e.op == "recv":
@@ -58,7 +62,42 @@ def render_timeline(
             else:  # send: effectively instantaneous injection
                 c = col(e.t_start)
                 row[c] = "x" if row[c] == "r" else "s"
+        for e in faults:
+            if e.rank == rank:
+                row[col(e.t_start)] = "!"
         lines.append(f"rank {rank:>3} |{''.join(row)}|")
+    return "\n".join(lines)
+
+
+def render_fault_log(events: Sequence[TraceEvent]) -> str:
+    """Chronological log of fault-subsystem events.
+
+    One line per event — crash, transient send failure, backoff, retry,
+    drop, degraded-link message, completed recovery — ordered by virtual
+    time then rank; the narrative companion to the ``!`` marks of
+    :func:`render_timeline`.
+    """
+    faults = sorted(
+        (e for e in events if e.is_fault), key=lambda e: (e.t_start, e.rank)
+    )
+    if not faults:
+        return "(no fault events recorded)"
+    lines = []
+    for e in faults:
+        kind = e.op[len(TraceEvent.FAULT_PREFIX):]
+        detail = {
+            "crash": "rank died",
+            "transient": f"send to {e.peer} failed transiently",
+            "backoff": f"retry backoff before resend to {e.peer}",
+            "retry": f"send to {e.peer} succeeded after retries",
+            "drop": f"message to {e.peer} dropped",
+            "link": f"degraded link to {e.peer}",
+            "recovery": f"shrank world to {e.tag[0] if e.tag else '?'} survivors",
+        }.get(kind, kind)
+        lines.append(
+            f"[{format_seconds(e.t_start):>10}] rank {e.rank:>3}  "
+            f"{kind:<9} {detail}"
+        )
     return "\n".join(lines)
 
 

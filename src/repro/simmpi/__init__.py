@@ -30,6 +30,15 @@ Quick example::
 
 from repro.simmpi.engine import SimEngine, SimResult
 from repro.simmpi.communicator import Comm, Request
+from repro.simmpi.faults import (
+    Crash,
+    FaultInjector,
+    FaultPlan,
+    LinkFault,
+    MessageDrop,
+    Straggler,
+    TransientFault,
+)
 from repro.simmpi.network import PostalNetwork
 from repro.simmpi.tracing import TraceEvent, Tracer
 
@@ -41,4 +50,11 @@ __all__ = [
     "PostalNetwork",
     "TraceEvent",
     "Tracer",
+    "FaultPlan",
+    "FaultInjector",
+    "Crash",
+    "TransientFault",
+    "MessageDrop",
+    "LinkFault",
+    "Straggler",
 ]

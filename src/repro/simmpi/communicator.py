@@ -20,7 +20,12 @@ from typing import Any, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import CommunicatorError, DeadlockError
+from repro.errors import (
+    CommunicatorError,
+    DeadlockError,
+    PeerFailedError,
+    TransientCommError,
+)
 from repro.simmpi.network import payload_bytes
 from repro.simmpi.tracing import TraceEvent
 
@@ -43,8 +48,17 @@ class Mailbox:
             self._queues.setdefault(key, deque()).append((payload, arrival))
             self._cond.notify_all()
 
-    def take(self, key: Tuple, timeout: float, abort_check) -> Tuple[Any, float]:
-        """Block until a message matches ``key``; honour aborts and timeouts."""
+    def kick(self) -> None:
+        """Wake every blocked receiver (so interrupts surface promptly)."""
+        with self._cond:
+            self._cond.notify_all()
+
+    def take(self, key: Tuple, timeout: float, interrupt) -> Tuple[Any, float]:
+        """Block until a message matches ``key``; honour interrupts and timeouts.
+
+        ``interrupt()`` returns ``None`` to keep waiting or the exception
+        to raise instead (peer failure, run abort).
+        """
         deadline = timeout
         waited = 0.0
         with self._cond:
@@ -55,10 +69,9 @@ class Mailbox:
                     if not queue:
                         del self._queues[key]
                     return payload, arrival
-                if abort_check():
-                    raise DeadlockError(
-                        f"receive on {key} interrupted: another rank failed"
-                    )
+                exc = interrupt()
+                if exc is not None:
+                    raise exc
                 if waited >= deadline:
                     raise DeadlockError(
                         f"receive on {key} timed out after {timeout:.1f}s "
@@ -110,7 +123,7 @@ class Request:
         engine = comm._engine
         t0 = comm.clock
         payload, arrival = engine.mailbox.take(
-            self._key, engine.timeout, engine.aborted
+            self._key, engine.timeout, comm._interrupt_for(self._key[1])
         )
         engine.sync_clock(comm.world_rank, arrival)
         engine.tracer.record(
@@ -143,13 +156,25 @@ class Comm:
     ctx:
         Hashable context id isolating this communicator's message
         namespace from every other communicator's.
+    gen:
+        Failure generation this communicator belongs to (0 for the
+        world communicator; bumped by :meth:`shrink`).  Sub-communicators
+        inherit their parent's generation.
     """
 
-    def __init__(self, engine, world_ranks: Tuple[int, ...], my_world_rank: int, ctx: Tuple) -> None:
+    def __init__(
+        self,
+        engine,
+        world_ranks: Tuple[int, ...],
+        my_world_rank: int,
+        ctx: Tuple,
+        gen: int = 0,
+    ) -> None:
         self._engine = engine
         self._world_ranks = tuple(world_ranks)
         self._world_rank = my_world_rank
         self._ctx = ctx
+        self._gen = gen
         try:
             self._rank = self._world_ranks.index(my_world_rank)
         except ValueError:
@@ -185,10 +210,50 @@ class Comm:
         return self._engine.get_clock(self._world_rank)
 
     def advance(self, seconds: float) -> None:
-        """Model local computation taking ``seconds`` of virtual time."""
+        """Model local computation taking ``seconds`` of virtual time.
+
+        On a rank with an injected :class:`~repro.simmpi.faults.Straggler`
+        the time is dilated by the straggler's (seeded) factor; a due
+        time-based crash fires once the clock crosses its deadline.
+        """
         if seconds < 0:
             raise CommunicatorError(f"cannot advance clock by {seconds}")
+        injector = self._engine.injector
+        if injector is not None and injector.has_straggler(self._world_rank):
+            seconds = seconds * injector.compute_factor(self._world_rank)
         self._engine.advance_clock(self._world_rank, seconds)
+        if injector is not None:
+            injector.check_crash(self._world_rank, time=self.clock)
+
+    def _interrupt_for(self, src_world: int):
+        """Interrupt predicate for a receive from ``src_world``.
+
+        The receive fails only when the source provably cannot satisfy
+        it (dead, or moved past this communicator's generation), which
+        keeps supervised interruption points deterministic — independent
+        of wall-clock thread scheduling.
+        """
+        engine = self._engine
+        rank = self._world_rank
+        gen = self._gen
+
+        def interrupt() -> Optional[BaseException]:
+            return engine.interruption(rank, src=src_world, gen=gen)
+
+        return interrupt
+
+    def heartbeat(self, step: Optional[int] = None) -> None:
+        """Poll the fault subsystem at a safe point (e.g. each training step).
+
+        Fires any due injected crash for *this* rank (step-based crashes
+        need the caller to supply ``step``).  Peer failures surface
+        deterministically through communication instead, so a heartbeat
+        never raises :class:`~repro.errors.PeerFailedError` itself.  A
+        no-op without an injector or supervision.
+        """
+        engine = self._engine
+        if engine.injector is not None or engine.supervise:
+            engine.check_interrupt(self._world_rank, step=step)
 
     # -- point to point --------------------------------------------------------
 
@@ -204,16 +269,84 @@ class Comm:
 
         The payload is deep-copied, so mutating ``obj`` afterwards never
         races the receiver (eager-buffered send semantics).
+
+        With a fault injector attached, the send may fail transiently:
+        each failed attempt backs off exponentially in *virtual* time
+        (``backoff_base * 2**attempt``) before retrying, and after
+        ``max_retries`` retries raises
+        :class:`~repro.errors.TransientCommError`.  Injected message
+        drops pay the full send cost but never arrive, and degraded
+        links time the message with the derated link machine.
         """
         dst_world = self._check_peer(dest)
+        engine = self._engine
+        injector = engine.injector
         nbytes = payload_bytes(obj)
-        t0 = self.clock
         payload = obj.copy() if isinstance(obj, np.ndarray) else copy.deepcopy(obj)
-        arrival = self._engine.network.arrival_time(t0, nbytes)
-        self._engine.advance_clock(self._world_rank, self._engine.network.machine.alpha)
         key = (self._ctx, self._world_rank, dst_world, tag)
-        self._engine.mailbox.post(key, payload, arrival)
-        self._engine.tracer.record(
+        if injector is None:
+            # Fault-free fast path: exactly the original postal timing.
+            # Sends never block and never observe peer failures, so no
+            # interrupt check is needed even under supervision — eager
+            # buffering lets the sender proceed regardless.
+            t0 = self.clock
+            arrival = engine.network.arrival_time(t0, nbytes)
+            engine.advance_clock(self._world_rank, engine.network.machine.alpha)
+            engine.mailbox.post(key, payload, arrival)
+            engine.tracer.record(
+                TraceEvent(self._world_rank, "send", dst_world, nbytes, t0, self.clock, (tag,))
+            )
+            return
+        outcome = injector.send_outcome(self._world_rank, dst_world)
+        attempt = 0
+        if outcome is not None and outcome.transient_attempts:
+            plan = injector.plan
+            while attempt < outcome.transient_attempts:
+                t0 = self.clock
+                engine.tracer.record(
+                    TraceEvent(
+                        self._world_rank, "fault.transient", dst_world, nbytes,
+                        t0, t0, (tag, attempt),
+                    )
+                )
+                if attempt >= plan.max_retries:
+                    raise TransientCommError(self._world_rank, dst_world, attempt + 1)
+                engine.advance_clock(self._world_rank, plan.backoff_base * (2 ** attempt))
+                engine.tracer.record(
+                    TraceEvent(
+                        self._world_rank, "fault.backoff", dst_world, 0,
+                        t0, self.clock, (tag, attempt),
+                    )
+                )
+                attempt += 1
+        t0 = self.clock
+        machine = engine.network.link_machine(self._world_rank, dst_world, t0)
+        # Same association as PostalNetwork.arrival_time so a no-op fault
+        # plan yields bit-identical timings to running without one.
+        arrival = t0 + (machine.alpha + machine.beta_per_byte * nbytes)
+        engine.advance_clock(self._world_rank, machine.alpha)
+        if machine is not engine.network.machine:
+            engine.tracer.record(
+                TraceEvent(
+                    self._world_rank, "fault.link", dst_world, nbytes, t0, self.clock, (tag,)
+                )
+            )
+        if outcome is not None and outcome.drop:
+            engine.tracer.record(
+                TraceEvent(
+                    self._world_rank, "fault.drop", dst_world, nbytes, t0, self.clock, (tag,)
+                )
+            )
+        else:
+            engine.mailbox.post(key, payload, arrival)
+        if attempt:
+            engine.tracer.record(
+                TraceEvent(
+                    self._world_rank, "fault.retry", dst_world, nbytes,
+                    t0, self.clock, (tag, attempt),
+                )
+            )
+        engine.tracer.record(
             TraceEvent(self._world_rank, "send", dst_world, nbytes, t0, self.clock, (tag,))
         )
 
@@ -223,7 +356,7 @@ class Comm:
         key = (self._ctx, src_world, self._world_rank, tag)
         t0 = self.clock
         payload, arrival = self._engine.mailbox.take(
-            key, self._engine.timeout, self._engine.aborted
+            key, self._engine.timeout, self._interrupt_for(src_world)
         )
         self._engine.sync_clock(self._world_rank, arrival)
         self._engine.tracer.record(
@@ -334,6 +467,7 @@ class Comm:
             world_rank=self._world_rank,
             value=(color, key),
             participants=self._world_ranks,
+            gen=self._gen,
         )
         members = sorted(
             (
@@ -344,7 +478,48 @@ class Comm:
         )
         new_world_ranks = tuple(w for _, _, w in members)
         new_ctx = (self._ctx, "split", seq, color)
-        return Comm(self._engine, new_world_ranks, self._world_rank, new_ctx)
+        return Comm(self._engine, new_world_ranks, self._world_rank, new_ctx, gen=self._gen)
+
+    def shrink(self) -> "Comm":
+        """Build a communicator over the surviving members (ULFM-style).
+
+        Callable only on a supervised engine, after a peer crash has
+        surfaced as :class:`~repro.errors.PeerFailedError`.  Every
+        survivor must call it; the shrink coordinates on the engine's
+        failure generation, clears the pending-recovery flag once all
+        survivors have arrived, and returns a fresh communicator (with a
+        fresh message namespace, so stale in-flight messages from the
+        interrupted step can never be matched).  If another rank dies
+        mid-shrink, the attempt retries against the updated survivor
+        set; local ranks preserve the relative order of
+        :attr:`world_ranks`.
+        """
+        engine = self._engine
+        if not engine.supervise:
+            raise CommunicatorError("shrink requires a supervised engine")
+        while True:
+            gen, alive = engine.begin_shrink()
+            members = tuple(r for r in self._world_ranks if r in set(alive))
+            if self._world_rank not in members:  # pragma: no cover - defensive
+                raise CommunicatorError("a dead rank cannot take part in shrink")
+            # Declare the move: peers blocked on this rank's old-generation
+            # messages fail over deterministically instead of deadlocking.
+            engine.mark_recovering(self._world_rank, gen)
+            ctx = ("shrink", self._ctx, gen, members)
+            try:
+                engine.coordinate(ctx, self._world_rank, None, members, gen=gen)
+            except PeerFailedError:
+                # Another crash landed mid-shrink: re-snapshot and retry.
+                continue
+            engine.mark_recovered(self._world_rank, gen)
+            engine.end_shrink(gen)
+            engine.tracer.record(
+                TraceEvent(
+                    self._world_rank, "fault.recovery", -1, 0, self.clock, self.clock,
+                    (len(members),),
+                )
+            )
+            return Comm(engine, members, self._world_rank, ctx=ctx, gen=gen)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

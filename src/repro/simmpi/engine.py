@@ -2,22 +2,38 @@
 
 :class:`SimEngine` launches one thread per rank, hands each a
 :class:`~repro.simmpi.communicator.Comm`, and tracks per-rank virtual
-clocks under the postal network model.  Rank failures abort the whole
-run (raising :class:`~repro.errors.RankFailedError` with every original
-exception) and unblock any ranks still waiting on messages.
+clocks under the postal network model.  By default rank failures abort
+the whole run (raising :class:`~repro.errors.RankFailedError` with
+every original exception) and unblock any ranks still waiting on
+messages.
+
+With ``supervise=True`` and a :class:`~repro.simmpi.faults.FaultInjector`
+attached, *injected* crashes (:class:`~repro.errors.SimulatedCrashError`)
+are instead survivable ULFM-style: the crashed rank is marked dead,
+surviving ranks observe :class:`~repro.errors.PeerFailedError` from any
+pending or subsequent communication, and may call
+:meth:`~repro.simmpi.communicator.Comm.shrink` to obtain a communicator
+over the survivors and continue the run.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import threading
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
-from repro.errors import ConfigurationError, RankFailedError
+from repro.errors import (
+    ConfigurationError,
+    DeadlockError,
+    PeerFailedError,
+    RankFailedError,
+    SimulatedCrashError,
+)
 from repro.machine.params import MachineParams
 from repro.simmpi.communicator import Comm, Mailbox
+from repro.simmpi.faults import FaultInjector, FaultPlan
 from repro.simmpi.network import PostalNetwork
-from repro.simmpi.tracing import Tracer
+from repro.simmpi.tracing import TraceEvent, Tracer
 
 __all__ = ["SimEngine", "SimResult"]
 
@@ -29,19 +45,28 @@ class SimResult:
     Attributes
     ----------
     values:
-        Per-rank return values of the rank program, in rank order.
+        Per-rank return values of the rank program, in rank order
+        (``None`` for ranks that died in a supervised run).
     clocks:
         Final virtual clock of each rank (seconds).
+    failed:
+        World ranks that crashed and were survived (supervised runs
+        only; empty otherwise).
     time:
         Simulated makespan: ``max(clocks)``.
     """
 
     values: Tuple[Any, ...]
     clocks: Tuple[float, ...]
+    failed: Tuple[int, ...] = ()
 
     @property
     def time(self) -> float:
         return max(self.clocks) if self.clocks else 0.0
+
+    @property
+    def survivors(self) -> Tuple[int, ...]:
+        return tuple(r for r in range(len(self.values)) if r not in self.failed)
 
     def __getitem__(self, rank: int) -> Any:
         return self.values[rank]
@@ -62,6 +87,14 @@ class SimEngine:
     trace:
         Record every message as a :class:`~repro.simmpi.tracing.TraceEvent`
         (see :attr:`tracer`).
+    faults:
+        A :class:`~repro.simmpi.faults.FaultPlan` (or prebuilt
+        :class:`~repro.simmpi.faults.FaultInjector`) to consult for
+        injected faults.  ``None`` disables injection entirely.
+    supervise:
+        Survive injected rank crashes instead of aborting: dead ranks
+        are reported in :attr:`SimResult.failed` and survivors may
+        ``shrink`` and continue.
     """
 
     def __init__(
@@ -71,14 +104,20 @@ class SimEngine:
         *,
         timeout: float = 30.0,
         trace: bool = False,
+        faults: Optional[Union[FaultPlan, FaultInjector]] = None,
+        supervise: bool = False,
     ) -> None:
         if size < 1:
             raise ConfigurationError(f"engine size must be >= 1, got {size}")
         if timeout <= 0:
             raise ConfigurationError(f"timeout must be positive, got {timeout}")
         self.size = size
-        self.network = PostalNetwork(machine)
+        if isinstance(faults, FaultPlan):
+            faults = FaultInjector(faults)
+        self.injector: Optional[FaultInjector] = faults
+        self.network = PostalNetwork(machine, injector=self.injector)
         self.timeout = timeout
+        self.supervise = supervise
         self.mailbox = Mailbox()
         self.tracer = Tracer(enabled=trace)
         self._clocks = [0.0] * size
@@ -88,6 +127,20 @@ class SimEngine:
         self._coord_cond = threading.Condition(self._coord_lock)
         self._coord_store: Dict[Tuple, Dict[int, Any]] = {}
         self._coord_reads: Dict[Tuple, int] = {}
+        self._fault_lock = threading.Lock()
+        self._recovery = threading.Event()
+        self._dead: Set[int] = set()
+        self._fail_gen = 0
+        self._crash_failures: Dict[int, BaseException] = {}
+        # Per-rank communicator generation state.  A rank's entry is only
+        # ever written by its own thread; readers tolerate (monotone)
+        # staleness.  ``_rank_gen[r]`` is the generation r currently
+        # operates in; while r is inside ``shrink`` its ``_rank_target[r]``
+        # names the generation it is moving to and ``_rank_recovering[r]``
+        # is True.
+        self._rank_gen = [0] * size
+        self._rank_target = [0] * size
+        self._rank_recovering = [False] * size
 
     # -- clocks ------------------------------------------------------------
 
@@ -107,7 +160,117 @@ class SimEngine:
     def aborted(self) -> bool:
         return self._abort.is_set()
 
-    # -- metadata coordination (Comm.split) ---------------------------------
+    # -- fault supervision ---------------------------------------------------
+
+    def dead_ranks(self) -> Tuple[int, ...]:
+        with self._fault_lock:
+            return tuple(sorted(self._dead))
+
+    def survivors(self) -> Tuple[int, ...]:
+        dead = set(self.dead_ranks())
+        return tuple(r for r in range(self.size) if r not in dead)
+
+    def in_recovery(self) -> bool:
+        return self._recovery.is_set()
+
+    def peer_generation(self, rank: int) -> int:
+        """The communicator generation ``rank`` has (or is moving to).
+
+        While ``rank`` is inside :meth:`~repro.simmpi.communicator.Comm.shrink`
+        this is its *target* generation: it has renounced every older
+        generation and will never post another message there.
+        """
+        if self._rank_recovering[rank]:
+            return self._rank_target[rank]
+        return self._rank_gen[rank]
+
+    def mark_recovering(self, rank: int, target_gen: int) -> None:
+        """``rank`` declares it is abandoning generations below ``target_gen``."""
+        self._rank_target[rank] = target_gen
+        self._rank_recovering[rank] = True
+        self.mailbox.kick()
+        with self._coord_cond:
+            self._coord_cond.notify_all()
+
+    def mark_recovered(self, rank: int, new_gen: int) -> None:
+        """``rank`` finished its shrink and now operates in ``new_gen``."""
+        self._rank_gen[rank] = new_gen
+        self._rank_recovering[rank] = False
+
+    def interruption(
+        self, world_rank: int, *, src: Optional[int] = None, gen: int = 0
+    ) -> Optional[BaseException]:
+        """The exception a blocked receive should raise now, if any.
+
+        ``None`` in normal operation; a deadlock-style interrupt when
+        another rank failed fatally.  In a supervised run a receive from
+        ``src`` on a generation-``gen`` communicator fails with
+        :class:`~repro.errors.PeerFailedError` exactly when ``src`` can
+        provably never satisfy it: ``src`` is dead, or has moved (or is
+        moving) to a newer generation.  Because that condition depends
+        only on ``src``'s own deterministic execution — never on
+        wall-clock races — every rank's interruption point is a pure
+        function of the program and the fault plan, which is what makes
+        supervised runs replayable.
+        """
+        if self._abort.is_set():
+            return DeadlockError(
+                f"rank {world_rank} interrupted: another rank failed"
+            )
+        if self.supervise and src is not None:
+            if src in self._dead:
+                return PeerFailedError(self.dead_ranks())
+            if self.peer_generation(src) > gen:
+                return PeerFailedError(self.dead_ranks())
+        return None
+
+    def check_interrupt(self, world_rank: int, *, step: Optional[int] = None) -> None:
+        """Fire due injected crashes for ``world_rank``.
+
+        Consults the injector for time-based crashes (against the rank's
+        virtual clock) and step-based crashes when ``step`` is given.
+        Only ever raises for *this* rank's own scripted faults, so calls
+        are deterministic; peer failures surface through communication
+        instead (see :meth:`interruption`).
+        """
+        if self.injector is not None:
+            self.injector.check_crash(
+                world_rank, step=step, time=self._clocks[world_rank]
+            )
+        if self._abort.is_set():
+            raise DeadlockError(
+                f"rank {world_rank} interrupted: another rank failed"
+            )
+
+    def _register_crash(self, world_rank: int, exc: SimulatedCrashError) -> None:
+        with self._fault_lock:
+            self._dead.add(world_rank)
+            self._fail_gen += 1
+            self._crash_failures[world_rank] = exc
+        t = self._clocks[world_rank]
+        self.tracer.record(TraceEvent(world_rank, "fault.crash", -1, 0, t, t))
+        self._recovery.set()
+        self.mailbox.kick()
+        with self._coord_cond:
+            self._coord_cond.notify_all()
+
+    def begin_shrink(self) -> Tuple[int, Tuple[int, ...]]:
+        """Snapshot (failure generation, survivor set) for a shrink attempt."""
+        with self._fault_lock:
+            survivors = tuple(r for r in range(self.size) if r not in self._dead)
+            return self._fail_gen, survivors
+
+    def end_shrink(self, gen: int) -> None:
+        """Clear the recovery flag once a shrink at generation ``gen`` holds.
+
+        Idempotent; a further crash (which bumps the generation) keeps
+        the recovery flag set so survivors go around again.
+        """
+        with self._fault_lock:
+            if self._fail_gen == gen:
+                self._recovery.clear()
+
+    # -- metadata coordination (Comm.split / Comm.shrink) --------------------
 
     def coordinate(
         self,
@@ -115,12 +278,19 @@ class SimEngine:
         world_rank: int,
         value: Any,
         participants: Sequence[int],
+        *,
+        gen: int = 0,
     ) -> Dict[int, Any]:
         """All ``participants`` deposit a value and read everyone's.
 
         A tiny built-in allgather for communicator metadata (used by
-        ``split``); charged zero virtual time.  The entry is garbage
-        collected once every participant has read it.
+        ``split`` and ``shrink``); charged zero virtual time.  The entry
+        is garbage collected once every participant has read it.  In a
+        supervised run the exchange fails with
+        :class:`~repro.errors.PeerFailedError` if a participant dies or
+        moves past generation ``gen`` (it will then never deposit here),
+        using the same deterministic peer-state rule as blocked
+        receives.
         """
         n = len(participants)
         with self._coord_cond:
@@ -131,6 +301,13 @@ class SimEngine:
             while len(self._coord_store.get(ctx, ())) < n:
                 if self._abort.is_set():
                     raise RankFailedError({world_rank: RuntimeError("aborted during split")})
+                if self.supervise:
+                    present = self._coord_store.get(ctx, {})
+                    for p in participants:
+                        if p == world_rank or p in present:
+                            continue
+                        if p in self._dead or self.peer_generation(p) > gen:
+                            raise PeerFailedError(self.dead_ranks() or (p,))
                 if waited >= self.timeout:
                     missing = set(participants) - set(self._coord_store.get(ctx, {}))
                     raise ConfigurationError(
@@ -154,12 +331,29 @@ class SimEngine:
         """Execute ``fn(comm, *args, **kwargs)`` on every rank.
 
         Returns a :class:`SimResult`; raises
-        :class:`~repro.errors.RankFailedError` if any rank raised.
-        The engine is reusable: clocks reset at the start of each run
-        (traces accumulate unless :attr:`tracer` is cleared).
+        :class:`~repro.errors.RankFailedError` if any rank raised (in a
+        supervised run, injected crashes with at least one survivor are
+        reported via :attr:`SimResult.failed` instead).  The engine is
+        reusable: clocks, fault state and the injector reset at the
+        start of each run (traces accumulate unless :attr:`tracer` is
+        cleared), so a rerun replays the same fault plan identically.
         """
         self._clocks = [0.0] * self.size
         self._abort.clear()
+        self._recovery.clear()
+        self._dead = set()
+        self._fail_gen = 0
+        self._crash_failures: Dict[int, BaseException] = {}
+        self._rank_gen = [0] * self.size
+        self._rank_target = [0] * self.size
+        self._rank_recovering = [False] * self.size
+        # A fresh mailbox and coordination store: messages left in flight
+        # by an interrupted previous run must not leak into this one.
+        self.mailbox = Mailbox()
+        self._coord_store = {}
+        self._coord_reads = {}
+        if self.injector is not None:
+            self.injector.reset()
         results: List[Any] = [None] * self.size
         failures: Dict[int, BaseException] = {}
 
@@ -167,6 +361,12 @@ class SimEngine:
             comm = self.world_comm(rank)
             try:
                 results[rank] = fn(comm, *args, **kwargs)
+            except SimulatedCrashError as exc:
+                if self.supervise:
+                    self._register_crash(rank, exc)
+                else:
+                    failures[rank] = exc
+                    self._abort.set()
             except BaseException as exc:  # noqa: BLE001 - reported to caller
                 failures[rank] = exc
                 self._abort.set()
@@ -180,5 +380,13 @@ class SimEngine:
         for t in threads:
             t.join()
         if failures:
+            failures.update(self._crash_failures)
             raise RankFailedError(failures)
-        return SimResult(values=tuple(results), clocks=tuple(self._clocks))
+        if self._crash_failures and len(self._dead) == self.size:
+            # Nobody survived to carry the run forward.
+            raise RankFailedError(self._crash_failures)
+        return SimResult(
+            values=tuple(results),
+            clocks=tuple(self._clocks),
+            failed=tuple(sorted(self._dead)),
+        )

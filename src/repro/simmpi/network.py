@@ -5,12 +5,18 @@ connected, conflict-free network described solely by a latency ``alpha``
 and an inverse bandwidth ``beta``.  A message of ``n`` bytes injected at
 time ``t`` arrives at ``t + alpha + beta_per_byte * n``; concurrent
 messages do not interfere.
+
+A :class:`~repro.simmpi.faults.FaultInjector` may be attached to model
+degraded links: while a :class:`~repro.simmpi.faults.LinkFault` window
+is active on a directed link, that link's messages are timed with a
+derated machine.  Healthy links always take the original code path, so
+fault-free timings are bit-identical with or without an injector.
 """
 
 from __future__ import annotations
 
 import pickle
-from typing import Any
+from typing import Any, Optional
 
 import numpy as np
 
@@ -22,14 +28,20 @@ __all__ = ["PostalNetwork", "payload_bytes"]
 def payload_bytes(obj: Any) -> int:
     """Size on the wire of a message payload.
 
-    NumPy arrays travel as raw buffers (their ``nbytes``); scalars as
-    one element; anything else is measured by its pickle, mirroring the
-    mpi4py convention of fast buffer sends vs pickled object sends.
+    NumPy arrays travel as raw buffers (their ``nbytes``); NumPy scalars
+    as one element of their dtype; Python numeric scalars as one machine
+    word (8 bytes — 16 for ``complex``, which is two doubles); anything
+    else is measured by its pickle, mirroring the mpi4py convention of
+    fast buffer sends vs pickled object sends.
     """
     if isinstance(obj, np.ndarray):
         return int(obj.nbytes)
-    if isinstance(obj, (int, float, complex, np.generic)):
-        return int(np.dtype(type(obj) if not isinstance(obj, np.generic) else obj.dtype).itemsize) if isinstance(obj, np.generic) else 8
+    if isinstance(obj, np.generic):
+        return int(obj.dtype.itemsize)
+    if isinstance(obj, complex):
+        return 16
+    if isinstance(obj, (bool, int, float)):
+        return 8
     try:
         return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
     except Exception:  # pragma: no cover - unpicklable payloads are exotic
@@ -44,17 +56,50 @@ class PostalNetwork:
     machine:
         Machine parameters supplying ``alpha`` and ``beta_per_byte``.
         Defaults to the paper's Cori-KNL preset.
+    injector:
+        Optional fault injector supplying per-link degradation windows.
     """
 
-    def __init__(self, machine: MachineParams | None = None) -> None:
+    def __init__(self, machine: MachineParams | None = None, injector=None) -> None:
         self.machine = machine if machine is not None else cori_knl()
+        self.injector = injector
 
-    def transfer_time(self, nbytes: int) -> float:
+    def link_machine(
+        self, src: Optional[int], dst: Optional[int], at: float
+    ) -> MachineParams:
+        """The machine view timing messages on ``src -> dst`` at time ``at``."""
+        if (
+            self.injector is not None
+            and src is not None
+            and dst is not None
+            and self.injector.has_link_faults()
+        ):
+            degraded = self.injector.link_machine(src, dst, at, self.machine)
+            if degraded is not None:
+                return degraded
+        return self.machine
+
+    def transfer_time(
+        self,
+        nbytes: int,
+        *,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+        at: float = 0.0,
+    ) -> float:
         """Seconds for one ``nbytes`` message: ``alpha + beta * n``."""
         if nbytes < 0:
             raise ValueError(f"message size must be >= 0, got {nbytes}")
-        return self.machine.alpha + self.machine.beta_per_byte * nbytes
+        machine = self.link_machine(src, dst, at)
+        return machine.alpha + machine.beta_per_byte * nbytes
 
-    def arrival_time(self, send_clock: float, nbytes: int) -> float:
+    def arrival_time(
+        self,
+        send_clock: float,
+        nbytes: int,
+        *,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+    ) -> float:
         """Virtual time at which a message posted at ``send_clock`` lands."""
-        return send_clock + self.transfer_time(nbytes)
+        return send_clock + self.transfer_time(nbytes, src=src, dst=dst, at=send_clock)

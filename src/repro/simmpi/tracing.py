@@ -33,6 +33,15 @@ class TraceEvent:
     t_end: float
     tag: Tuple = ()
 
+    #: Prefix shared by every fault-subsystem event (``fault.crash``,
+    #: ``fault.transient``, ``fault.retry``, ``fault.backoff``,
+    #: ``fault.drop``, ``fault.link``, ``fault.recovery``).
+    FAULT_PREFIX = "fault."
+
+    @property
+    def is_fault(self) -> bool:
+        return self.op.startswith(self.FAULT_PREFIX)
+
 
 class Tracer:
     """Thread-safe, append-only event log (no-op when disabled)."""
@@ -73,6 +82,25 @@ class Tracer:
         return sum(
             1 for e in self.events if e.op == op and (rank is None or e.rank == rank)
         )
+
+    def faults(self, kind: Optional[str] = None) -> Tuple[TraceEvent, ...]:
+        """All fault events, optionally filtered (``kind="crash"`` etc.)."""
+        events = tuple(e for e in self.events if e.is_fault)
+        if kind is None:
+            return events
+        return tuple(e for e in events if e.op == TraceEvent.FAULT_PREFIX + kind)
+
+    def canonical(self) -> Tuple[TraceEvent, ...]:
+        """Events in a scheduling-independent order.
+
+        The append order of :attr:`events` interleaves rank threads by
+        wall-clock accident; within one rank the order is the program
+        order and hence deterministic.  A stable sort by rank therefore
+        yields a replay-comparable view: two runs of the same program
+        under the same :class:`~repro.simmpi.faults.FaultPlan` produce
+        identical ``canonical()`` tuples.
+        """
+        return tuple(sorted(self.events, key=lambda e: e.rank))
 
     def by_rank(self, op: str = "send") -> Dict[int, int]:
         """Bytes sent (or received) per rank."""

@@ -90,3 +90,41 @@ class TestParser:
     def test_run_requires_experiment(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run"])
+
+
+class TestFaults:
+    def test_faults_demo_recovers(self, capsys):
+        assert main(["faults"]) == 0
+        out = capsys.readouterr().out
+        assert "2x2 grid" in out
+        assert "fault log:" in out
+        assert "rank died" in out
+        assert "shrank world to 3 survivors" in out
+        assert "recovery: shrank to a" in out
+        assert "failed ranks   : [1]" in out
+        assert "max |w - serial|" in out
+        assert "!" in out  # fault marks on the timeline
+
+    def test_faults_with_plan_file(self, tmp_path, capsys):
+        from repro.simmpi.faults import Crash, FaultPlan
+
+        plan = FaultPlan(seed=1, crashes=(Crash(rank=2, at_step=3),))
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        assert main(["faults", "--plan", str(path), "--steps", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "failed ranks   : [2]" in out
+        assert "resumed from the step-2 checkpoint" in out
+
+    def test_faults_rejects_tiny_world(self, capsys):
+        assert main(["faults", "--ranks", "1"]) == 2
+
+    def test_faults_no_fault_plan_runs_clean(self, tmp_path, capsys):
+        from repro.simmpi.faults import FaultPlan
+
+        path = tmp_path / "empty.json"
+        path.write_text(FaultPlan().to_json())
+        assert main(["faults", "--plan", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "recovery: none needed" in out
+        assert "failed ranks   : none" in out

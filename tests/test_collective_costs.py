@@ -1,7 +1,5 @@
 """Tests for the closed-form collective cost models (repro.collectives)."""
 
-import math
-
 import pytest
 from hypothesis import given, strategies as st
 

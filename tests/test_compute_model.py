@@ -1,7 +1,5 @@
 """Tests for the epoch-time table and compute models (repro.machine.compute)."""
 
-import math
-
 import pytest
 from hypothesis import given, strategies as st
 

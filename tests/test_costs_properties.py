@@ -12,8 +12,8 @@ from repro.core.costs import (
     model_parallel_cost,
 )
 from repro.core.ratio import batch_model_volume_ratio
-from repro.core.strategy import Placement, ProcessGrid, Strategy
-from repro.machine.params import MachineParams, cori_knl
+from repro.core.strategy import ProcessGrid, Strategy
+from repro.machine.params import cori_knl
 from repro.nn import alexnet, lenet_like
 
 NET = lenet_like()  # small net keeps hypothesis fast

@@ -125,7 +125,7 @@ class TestCharts:
             ["g1", "g2"],
             [{"compute": 1.0, "comm": 3.0}, {"compute": 1.0, "comm": 0.5}],
         )
-        best_line = [l for l in text.splitlines() if "<= best" in l]
+        best_line = [ln for ln in text.splitlines() if "<= best" in ln]
         assert len(best_line) == 1 and "g2" in best_line[0]
 
     def test_stacked_legend_lists_segments(self):

@@ -7,7 +7,7 @@ import pytest
 from repro.dist.grid import GridComm
 from repro.dist.matmul15d import backward_dw_15d, backward_dx_15d, forward_15d
 from repro.dist.partition import BlockPartition
-from repro.errors import ConfigurationError, RankFailedError, ShapeError
+from repro.errors import RankFailedError
 from repro.simmpi.engine import SimEngine
 
 RNG = np.random.default_rng(17)

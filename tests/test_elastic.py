@@ -1,0 +1,208 @@
+"""Integration tests for elastic fault-tolerant 1.5D training.
+
+The headline guarantee: a run that loses ranks mid-training shrinks to
+the surviving grid, restores the newest common checkpoint, and finishes
+on the *same* synchronous-SGD trajectory — final weights match the
+uninterrupted serial reference to reduction-order accuracy, and the
+whole scenario replays bit-identically from the fault plan's seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dist.elastic import (
+    Checkpoint,
+    elastic_mlp_train,
+    replan_grid,
+)
+from repro.dist.sgd import SGD
+from repro.dist.train import MLPParams, serial_mlp_train
+from repro.errors import ConfigurationError, RankFailedError
+from repro.machine.params import cori_knl
+from repro.simmpi.faults import Crash, FaultPlan, LinkFault, Straggler, TransientFault
+
+DIMS = (6, 8, 5)
+BATCH = 8
+STEPS = 8
+SEED = 0
+
+RNG = np.random.default_rng(SEED)
+X = RNG.standard_normal((DIMS[0], 3 * BATCH))
+Y = RNG.integers(0, DIMS[-1], 3 * BATCH)
+PARAMS0 = MLPParams.init(DIMS, seed=1)
+
+
+def _serial(momentum=0.0):
+    return serial_mlp_train(
+        PARAMS0, X, Y, batch=BATCH, steps=STEPS, lr=0.05, momentum=momentum
+    )
+
+
+def _elastic(faults=None, momentum=0.0, **kw):
+    kw.setdefault("checkpoint_every", 2)
+    return elastic_mlp_train(
+        PARAMS0,
+        X,
+        Y,
+        pr=2,
+        pc=2,
+        batch=BATCH,
+        steps=STEPS,
+        lr=0.05,
+        momentum=momentum,
+        faults=faults,
+        **kw,
+    )
+
+
+class TestElasticNoFaults:
+    def test_matches_serial_reference(self):
+        ref_params, ref_losses = _serial()
+        res = _elastic()
+        assert not res.recovered
+        assert res.grids == [(2, 2)]
+        np.testing.assert_allclose(res.losses, ref_losses, rtol=1e-10, atol=1e-13)
+        for w, r in zip(res.weights, ref_params.weights):
+            np.testing.assert_allclose(w, r, rtol=1e-10, atol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            _elastic(checkpoint_every=0)
+
+
+class TestElasticRecovery:
+    def test_crash_shrinks_restores_and_matches_reference(self):
+        plan = FaultPlan(seed=3, crashes=(Crash(rank=1, at_step=5),))
+        res = _elastic(faults=plan, trace=True)
+        assert res.sim.failed == (1,)
+        assert res.recovered
+        # Re-planned to the best 3-rank grid chosen by the Eq. 8 cost model.
+        assert res.grids[1] == replan_grid(3, DIMS, BATCH, cori_knl())
+        # Resumed from a checkpoint boundary at or before the crash step.
+        assert res.restore_steps and res.restore_steps[0] <= 5
+        assert res.restore_steps[0] % 2 == 0
+        # The recovered trajectory matches the uninterrupted reference.
+        ref_params, ref_losses = _serial()
+        np.testing.assert_allclose(res.losses, ref_losses, rtol=1e-10, atol=1e-13)
+        for w, r in zip(res.weights, ref_params.weights):
+            np.testing.assert_allclose(w, r, rtol=1e-10, atol=1e-12)
+
+    def test_recovery_matches_reference_restarted_from_checkpoint(self):
+        """Explicit acceptance check: continue serially from the very
+        checkpoint the recovery restored, and compare final weights."""
+        plan = FaultPlan(seed=3, crashes=(Crash(rank=1, at_step=5),))
+        res = _elastic(faults=plan)
+        s = res.restore_steps[0]
+        # Rebuild the step-s state by running serial SGD to step s...
+        ref_at_s, _ = serial_mlp_train(
+            PARAMS0, X, Y, batch=BATCH, steps=s, lr=0.05
+        )
+        # ... then continue, uninterrupted, for the remaining steps (the
+        # batch schedule is a pure function of the absolute step index).
+        params = ref_at_s.copy()
+        opt = SGD(lr=0.05)
+        from repro.dist.train import _batch_columns, _mlp_forward
+        from repro.dist.loss import softmax_cross_entropy
+        from repro.dist.layers import relu_grad
+
+        for step in range(s, STEPS):
+            cols = _batch_columns(step, BATCH, X.shape[1], None)
+            xb, yb = X[:, cols], Y[cols]
+            acts, zs = _mlp_forward(params.weights, xb)
+            _, dz = softmax_cross_entropy(zs[-1], yb, global_batch=BATCH)
+            grads = [None] * len(params.weights)
+            for i in range(len(params.weights) - 1, -1, -1):
+                grads[i] = dz @ acts[i].T
+                if i > 0:
+                    da = params.weights[i].T @ dz
+                    dz = relu_grad(zs[i - 1], da)
+            opt.step(params.weights, grads)
+        for w, r in zip(res.weights, params.weights):
+            np.testing.assert_allclose(w, r, rtol=1e-10, atol=1e-10)
+
+    def test_momentum_state_survives_recovery(self):
+        plan = FaultPlan(seed=3, crashes=(Crash(rank=2, at_step=5),))
+        ref_params, ref_losses = _serial(momentum=0.9)
+        res = _elastic(faults=plan, momentum=0.9)
+        assert res.recovered
+        np.testing.assert_allclose(res.losses, ref_losses, rtol=1e-10, atol=1e-13)
+        for w, r in zip(res.weights, ref_params.weights):
+            np.testing.assert_allclose(w, r, rtol=1e-10, atol=1e-10)
+
+    def test_double_crash_two_recoveries(self):
+        plan = FaultPlan(
+            seed=3, crashes=(Crash(rank=1, at_step=3), Crash(rank=2, at_step=6))
+        )
+        ref_params, _ = _serial()
+        res = _elastic(faults=plan)
+        assert res.sim.failed == (1, 2)
+        assert len(res.grids) == 3 and res.grids[-1] == (1, 2)
+        assert len(res.restore_steps) == 2
+        for w, r in zip(res.weights, ref_params.weights):
+            np.testing.assert_allclose(w, r, rtol=1e-10, atol=1e-12)
+
+    def test_crash_with_ambient_faults(self):
+        """Recovery still works with a straggler, a degraded link and a
+        transient retry in the mix — and stays numerically exact."""
+        plan = FaultPlan(
+            seed=11,
+            crashes=(Crash(rank=3, at_step=4),),
+            transients=(TransientFault(rank=0, send_index=4, attempts=2),),
+            links=(LinkFault(src=0, dst=2, latency_factor=3.0, bandwidth_factor=0.5),),
+            stragglers=(Straggler(rank=2, factor=1.4),),
+        )
+        ref_params, _ = _serial()
+        res = _elastic(faults=plan, trace=True)
+        assert res.sim.failed == (3,)
+        for w, r in zip(res.weights, ref_params.weights):
+            np.testing.assert_allclose(w, r, rtol=1e-10, atol=1e-12)
+        ops = {e.op for e in res.engine.tracer.faults()}
+        assert {"fault.crash", "fault.recovery", "fault.transient", "fault.link"} <= ops
+
+    def test_all_ranks_crashing_raises(self):
+        plan = FaultPlan(
+            crashes=tuple(Crash(rank=r, at_step=2) for r in range(4))
+        )
+        with pytest.raises(RankFailedError):
+            _elastic(faults=plan, timeout=5.0)
+
+
+class TestElasticDeterminism:
+    def test_identical_traces_and_weights_across_runs(self):
+        plan = FaultPlan(seed=5, crashes=(Crash(rank=1, at_step=5),))
+        a = _elastic(faults=plan, trace=True)
+        b = _elastic(faults=plan, trace=True)
+        assert a.sim.failed == b.sim.failed
+        assert a.sim.clocks == b.sim.clocks
+        assert a.grids == b.grids and a.restore_steps == b.restore_steps
+        assert a.engine.tracer.canonical() == b.engine.tracer.canonical()
+        for wa, wb in zip(a.weights, b.weights):
+            assert np.array_equal(wa, wb)
+        assert a.losses == b.losses
+
+    def test_fault_events_carry_virtual_times(self):
+        plan = FaultPlan(seed=5, crashes=(Crash(rank=1, at_step=5),))
+        res = _elastic(faults=plan, trace=True)
+        crash = res.engine.tracer.faults("crash")
+        recoveries = res.engine.tracer.faults("recovery")
+        assert len(crash) == 1 and crash[0].rank == 1
+        assert {e.rank for e in recoveries} == {0, 2, 3}
+        assert all(e.t_start >= crash[0].t_start for e in recoveries)
+
+
+class TestReplanGrid:
+    def test_uses_all_survivors(self):
+        for p in (1, 2, 3, 4, 6):
+            pr, pc = replan_grid(p, DIMS, BATCH, cori_knl())
+            assert pr * pc == p
+            assert pr <= min(DIMS[1:]) and pc <= BATCH
+
+    def test_infeasible_counts_raise(self):
+        with pytest.raises(ConfigurationError):
+            replan_grid(7, (4, 3, 3), 2, cori_knl())  # 7x1 and 1x7 both infeasible
+
+    def test_checkpoint_copy_is_deep(self):
+        ck = Checkpoint(0, [np.zeros(3)], [np.ones(3)], (1.0,))
+        cp = ck.copy()
+        cp.weights[0][:] = 9.0
+        assert np.all(ck.weights[0] == 0.0)

@@ -1,6 +1,5 @@
 """Tests for model evaluation (repro.dist.evaluate)."""
 
-import numpy as np
 import pytest
 
 from repro.data.synthetic import separable_blobs

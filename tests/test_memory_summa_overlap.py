@@ -6,7 +6,7 @@ from hypothesis import given, strategies as st
 
 from repro.core.memory import memory_footprint
 from repro.core.overlap import overlapped_time
-from repro.core.strategy import Placement, ProcessGrid, Strategy
+from repro.core.strategy import ProcessGrid, Strategy
 from repro.core.summa import (
     compare_1p5d_vs_summa,
     summa_stationary_a_volume,
@@ -14,7 +14,7 @@ from repro.core.summa import (
     volume_1p5d,
 )
 from repro.errors import ConfigurationError
-from repro.nn import alexnet, mlp
+from repro.nn import alexnet
 
 NET = alexnet()
 

@@ -62,6 +62,37 @@ class TestEngineBasics:
             eng.run(prog)
         assert isinstance(err.value.failures[0], DeadlockError)
 
+    def test_concurrent_failures_all_aggregated(self):
+        def prog(comm):
+            if comm.rank in (1, 3):
+                raise ValueError(f"boom {comm.rank}")
+            comm.recv((comm.rank + 1) % 4)  # blocks until the abort unblocks it
+
+        with pytest.raises(RankFailedError) as err:
+            SimEngine(4, timeout=10.0).run(prog)
+        failures = err.value.failures
+        assert isinstance(failures[1], ValueError)
+        assert isinstance(failures[3], ValueError)
+        assert str(failures[1]) == "boom 1"
+        # The interrupted (blocked) ranks surface as deadlock-style
+        # interruptions alongside the original failures, never silently.
+        for rank, exc in failures.items():
+            if rank not in (1, 3):
+                assert isinstance(exc, DeadlockError)
+
+    def test_watchdog_names_the_unmatched_receive(self):
+        eng = SimEngine(2, timeout=0.3)
+
+        def prog(comm):
+            if comm.rank == 1:
+                comm.recv(0, tag=9)  # never sent
+
+        with pytest.raises(RankFailedError) as err:
+            eng.run(prog)
+        exc = err.value.failures[1]
+        assert isinstance(exc, DeadlockError)
+        assert "timed out" in str(exc)
+
     def test_peer_failure_unblocks_waiting_rank(self):
         eng = SimEngine(2, timeout=30.0)
 
@@ -185,11 +216,28 @@ class TestPayloadBytes:
 
     def test_scalars_small(self):
         assert payload_bytes(3.14) == 8
+        assert payload_bytes(12345) == 8
+        assert payload_bytes(True) == 8
+
+    def test_complex_is_two_doubles(self):
+        assert payload_bytes(1.0 + 2.0j) == 16
+
+    def test_numpy_scalars_use_dtype_itemsize(self):
+        assert payload_bytes(np.float32(1.5)) == 4
+        assert payload_bytes(np.int64(3)) == 8
+        assert payload_bytes(np.complex128(1j)) == 16
+        assert payload_bytes(np.bool_(True)) == 1
 
     def test_objects_use_pickle_length(self):
+        import pickle
+
         small = payload_bytes({"a": 1})
         big = payload_bytes({"a": list(range(1000))})
         assert big > small > 0
+        obj = {"k": [1, 2, 3]}
+        assert payload_bytes(obj) == len(
+            pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        )
 
     def test_network_transfer_time(self):
         net = PostalNetwork(MachineParams(alpha=1e-6, beta_per_byte=1e-9))

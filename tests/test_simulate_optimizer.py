@@ -5,7 +5,7 @@ import pytest
 from repro.core.optimizer import best_strategy, enumerate_grids, evaluate_grids
 from repro.core.simulate import simulate_epoch, simulate_iteration
 from repro.core.strategy import Placement, ProcessGrid, Strategy
-from repro.errors import ConfigurationError, StrategyError
+from repro.errors import ConfigurationError
 from repro.machine.compute import ComputeModel
 from repro.machine.params import cori_knl
 from repro.nn import alexnet

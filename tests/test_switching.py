@@ -8,7 +8,7 @@ import pytest
 from repro.data.synthetic import synthetic_classification
 from repro.dist.switching import distributed_switching_mlp_train
 from repro.dist.train import MLPParams, serial_mlp_train
-from repro.errors import RankFailedError, StrategyError
+from repro.errors import StrategyError
 from repro.machine.params import cori_knl
 from repro.simmpi.engine import SimEngine
 

@@ -43,7 +43,7 @@ class TestTimeline:
 
         events = traced_run(3, prog)
         text = render_timeline(events, ranks=[2])
-        row = [l for l in text.splitlines() if l.startswith("rank   2")][0]
+        row = [ln for ln in text.splitlines() if ln.startswith("rank   2")][0]
         assert set(row.split("|")[1]) == {"."}
 
 
@@ -133,3 +133,36 @@ class TestTopologyPresets:
         base_cost = batch_parallel_cost(net, 64, self.BASE).total
         slow_cost = batch_parallel_cost(net, 64, dragonfly(self.BASE)).total
         assert slow_cost > base_cost
+
+class TestFaultRendering:
+    def _traced_faulty_run(self):
+        from repro.simmpi.faults import FaultPlan, TransientFault
+
+        plan = FaultPlan(transients=(TransientFault(0, send_index=0, attempts=1),))
+        eng = SimEngine(2, faults=plan, trace=True)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.ones(64), 1)
+            else:
+                comm.recv(0)
+
+        eng.run(prog)
+        return eng.tracer.canonical()
+
+    def test_timeline_marks_faults(self):
+        out = render_timeline(self._traced_faulty_run())
+        assert "!=fault" in out
+        assert "!" in out.splitlines()[1]  # rank 0's row carries the mark
+
+    def test_fault_log_lines(self):
+        from repro.report.timeline import render_fault_log
+
+        out = render_fault_log(self._traced_faulty_run())
+        assert "transient" in out and "retry" in out and "backoff" in out
+        assert "rank   0" in out
+
+    def test_fault_log_empty(self):
+        from repro.report.timeline import render_fault_log
+
+        assert "no fault events" in render_fault_log([])
