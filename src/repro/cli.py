@@ -8,6 +8,7 @@ Examples::
     repro summary                   # network + machine summary
     repro best --batch 2048 --processes 512        # optimizer front-end
     repro best -B 512 -P 4096 --network vgg16 --max-memory-mb 256
+    repro trace --experiment fig7 --pr 4 --pc 2 --out trace-out --assert-exact
 """
 
 from __future__ import annotations
@@ -97,6 +98,35 @@ def build_parser() -> argparse.ArgumentParser:
     faults_p.add_argument(
         "--width", type=int, default=72, help="timeline width in columns"
     )
+
+    trace_p = sub.add_parser(
+        "trace",
+        help=(
+            "run a traced 1.5D training job, audit measured bytes against "
+            "the Eq. 3/4/8 cost model, export a Chrome trace"
+        ),
+    )
+    trace_p.add_argument(
+        "--experiment",
+        default="mlp",
+        choices=["mlp", "fig7"],
+        help="network preset: 'mlp' (tiny) or 'fig7' (scaled-down AlexNet FC stack)",
+    )
+    trace_p.add_argument("--pr", type=int, default=2, help="model-parallel rows")
+    trace_p.add_argument("--pc", type=int, default=2, help="batch-parallel columns")
+    trace_p.add_argument("--batch", type=int, default=16, help="global batch size")
+    trace_p.add_argument("--steps", type=int, default=2, help="training steps")
+    trace_p.add_argument(
+        "--out", default=None, help="directory for trace.json + audit/metrics exports"
+    )
+    trace_p.add_argument(
+        "--per-rank", action="store_true", help="break the span summary out per rank"
+    )
+    trace_p.add_argument(
+        "--assert-exact",
+        action="store_true",
+        help="exit non-zero unless the audit shows zero relative error",
+    )
     return parser
 
 
@@ -174,7 +204,11 @@ def _run_faults(args) -> int:
     from repro.dist.elastic import elastic_mlp_train, replan_grid
     from repro.dist.train import MLPParams, serial_mlp_train
     from repro.machine.params import cori_knl
-    from repro.report.timeline import render_fault_log, render_timeline
+    from repro.report.timeline import (
+        render_fault_log,
+        render_span_timeline,
+        render_timeline,
+    )
     from repro.simmpi.faults import Crash, FaultPlan, LinkFault, Straggler
 
     if args.ranks < 2:
@@ -222,6 +256,8 @@ def _run_faults(args) -> int:
     print()
     print(render_timeline(events, width=args.width))
     print()
+    print(render_span_timeline(events, width=args.width))
+    print()
     if result.recovered:
         for (gpr, gpc), at in zip(result.grids[1:], result.restore_steps):
             print(
@@ -240,6 +276,70 @@ def _run_faults(args) -> int:
         for w, r in zip(result.weights, ref_params.weights)
     )
     print(f"max |w - serial|: {dev:.3e}")
+    return 0
+
+
+#: Network presets for ``repro trace`` — small enough to simulate quickly,
+#: big enough that every layer exercises both grid dimensions.  "fig7" is a
+#: scaled-down proxy for the AlexNet FC stack the paper's Fig. 7 studies.
+TRACE_PRESETS = {
+    "mlp": (32, 24, 16, 10),
+    "fig7": (48, 32, 32, 10),
+}
+
+
+def _run_trace(args) -> int:
+    from repro.errors import ReproError
+    from repro.report.export import export_metrics
+    from repro.telemetry.audit import audit_mlp_15d
+    from repro.telemetry.chrome import validate_chrome_trace, write_chrome_trace
+    from repro.telemetry.metrics import MetricsRegistry
+    from repro.telemetry.summary import span_summary
+
+    dims = TRACE_PRESETS[args.experiment]
+    print(
+        f"tracing : {args.experiment} dims={dims} on a {args.pr}x{args.pc} grid, "
+        f"batch {args.batch}, {args.steps} step(s)"
+    )
+    try:
+        report, events = audit_mlp_15d(
+            dims,
+            pr=args.pr,
+            pc=args.pc,
+            batch=args.batch,
+            steps=args.steps,
+        )
+    except ReproError as exc:
+        print(f"trace failed: {exc}", file=sys.stderr)
+        return 2
+    registry = MetricsRegistry()
+    for event in events:
+        registry.observe_event(event)
+    print()
+    print(span_summary(events, per_rank=args.per_rank).to_ascii())
+    print()
+    print(report.to_table().to_ascii())
+    print()
+    print(
+        f"audit   : max bandwidth rel. error "
+        f"{report.max_bandwidth_rel_error:.3e}, max latency rel. error "
+        f"{report.max_latency_rel_error:.3e}"
+        f" -> {'EXACT' if report.exact else 'MISMATCH'}"
+    )
+    if args.out:
+        trace_path = f"{args.out.rstrip('/')}/trace.json"
+        obj = write_chrome_trace(
+            events, trace_path, title=f"repro trace {args.experiment}"
+        )
+        n = validate_chrome_trace(obj)
+        print(f"chrome  : wrote {n} events to {trace_path} (load in Perfetto)")
+        export_results(report.to_table(), args.out, "audit")
+        export_metrics(registry, args.out)
+        export_results(span_summary(events, per_rank=True), args.out, "spans")
+    if args.assert_exact and not report.exact:
+        print("audit mismatch: measured traffic deviates from the cost model",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -282,6 +382,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_best(args)
     if args.command == "faults":
         return _run_faults(args)
+    if args.command == "trace":
+        return _run_trace(args)
     # run
     ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for experiment_id in ids:

@@ -43,6 +43,7 @@ from repro.errors import ConfigurationError, PeerFailedError, ShapeError, Strate
 from repro.machine.params import MachineParams, cori_knl
 from repro.nn.zoo import mlp
 from repro.simmpi.engine import SimEngine, SimResult
+from repro.telemetry.spans import span
 
 __all__ = [
     "Checkpoint",
@@ -233,38 +234,51 @@ def elastic_mlp_program(
                 ckpts[start], grid, row_parts, lr, momentum, weight_decay
             )
             for step in range(start, steps):
-                world.heartbeat(step=step)
-                if checkpoint_every and step % checkpoint_every == 0 and step > start:
-                    ckpts[step] = _take_checkpoint(
-                        grid, step, w_locals, opt, losses, momentum
-                    )
-                if lr_schedule is not None:
-                    opt.lr = float(lr_schedule(step))
-                cols = _batch_columns(step, batch, n, schedule)
-                my_cols = col_part.take(cols, grid.col)
-                a_local = x[:, my_cols]
-                yb_local = y[my_cols]
-                acts = [a_local]
-                zs = []
-                for i in range(num_layers):
-                    z = forward_15d(grid, w_locals[i], acts[-1])
-                    zs.append(z)
-                    acts.append(relu(z) if i < num_layers - 1 else z)
-                loss_local, dz = softmax_cross_entropy(
-                    zs[-1], yb_local, global_batch=batch
-                )
-                loss_global = float(
-                    grid.row_comm.allreduce(np.array([loss_local]), algorithm="ring")[0]
-                )
-                losses.append(loss_global)
-                grads: List[Optional[np.ndarray]] = [None] * num_layers
-                for i in range(num_layers - 1, -1, -1):
-                    dy_rows = row_parts[i].take(dz, grid.row, axis=0)
-                    grads[i] = backward_dw_15d(grid, dy_rows, acts[i])
-                    if i > 0:
-                        da = backward_dx_15d(grid, w_locals[i], dy_rows)
-                        dz = relu_grad(zs[i - 1], da)
-                opt.step(w_locals, grads)  # type: ignore[arg-type]
+                with span("step", comm=world, step=step):
+                    world.heartbeat(step=step)
+                    if (
+                        checkpoint_every
+                        and step % checkpoint_every == 0
+                        and step > start
+                    ):
+                        with span("checkpoint", comm=world, step=step):
+                            ckpts[step] = _take_checkpoint(
+                                grid, step, w_locals, opt, losses, momentum
+                            )
+                    if lr_schedule is not None:
+                        opt.lr = float(lr_schedule(step))
+                    cols = _batch_columns(step, batch, n, schedule)
+                    my_cols = col_part.take(cols, grid.col)
+                    a_local = x[:, my_cols]
+                    yb_local = y[my_cols]
+                    acts = [a_local]
+                    zs = []
+                    for i in range(num_layers):
+                        with span("fwd", comm=world, layer=i):
+                            z = forward_15d(grid, w_locals[i], acts[-1])
+                        zs.append(z)
+                        acts.append(relu(z) if i < num_layers - 1 else z)
+                    with span("loss", comm=world):
+                        loss_local, dz = softmax_cross_entropy(
+                            zs[-1], yb_local, global_batch=batch
+                        )
+                        loss_global = float(
+                            grid.row_comm.allreduce(
+                                np.array([loss_local]), algorithm="ring"
+                            )[0]
+                        )
+                    losses.append(loss_global)
+                    grads: List[Optional[np.ndarray]] = [None] * num_layers
+                    for i in range(num_layers - 1, -1, -1):
+                        dy_rows = row_parts[i].take(dz, grid.row, axis=0)
+                        with span("bwd_dw", comm=world, layer=i):
+                            grads[i] = backward_dw_15d(grid, dy_rows, acts[i])
+                        if i > 0:
+                            with span("bwd_dx", comm=world, layer=i):
+                                da = backward_dx_15d(grid, w_locals[i], dy_rows)
+                            dz = relu_grad(zs[i - 1], da)
+                    with span("update", comm=world):
+                        opt.step(w_locals, grads)  # type: ignore[arg-type]
             full_weights = _full_blocks(grid, w_locals)
             return losses, full_weights, grids, restores
         except PeerFailedError:
@@ -272,14 +286,15 @@ def elastic_mlp_program(
             # newest checkpoint everyone holds, re-plan the grid for the
             # new world size, and restore.  A further crash anywhere in
             # this sequence re-raises PeerFailedError and retries.
-            world = world.shrink()
-            held = world.allgather_object(sorted(ckpts))
-            common = set(held[0]).intersection(*map(set, held[1:]))
-            start = max(common)
-            ckpts = {s: c for s, c in ckpts.items() if s <= start}
-            cur_pr, cur_pc = replan_grid(world.size, dims, batch, machine)
-            grids.append((cur_pr, cur_pc))
-            restores.append(start)
+            with span("recovery", comm=world):
+                world = world.shrink()
+                held = world.allgather_object(sorted(ckpts))
+                common = set(held[0]).intersection(*map(set, held[1:]))
+                start = max(common)
+                ckpts = {s: c for s, c in ckpts.items() if s <= start}
+                cur_pr, cur_pc = replan_grid(world.size, dims, batch, machine)
+                grids.append((cur_pr, cur_pc))
+                restores.append(start)
 
 
 def elastic_mlp_train(
@@ -300,6 +315,7 @@ def elastic_mlp_train(
     faults=None,
     machine: Optional[MachineParams] = None,
     trace: bool = False,
+    metrics=None,
     timeout: float = 30.0,
 ) -> ElasticResult:
     """Train elastically on a supervised ``pr x pc`` simulation.
@@ -318,7 +334,13 @@ def elastic_mlp_train(
             f"checkpoint_every must be >= 1, got {checkpoint_every}"
         )
     engine = SimEngine(
-        pr * pc, machine, trace=trace, faults=faults, supervise=True, timeout=timeout
+        pr * pc,
+        machine,
+        trace=trace,
+        faults=faults,
+        supervise=True,
+        timeout=timeout,
+        metrics=metrics,
     )
     result = engine.run(
         elastic_mlp_program,

@@ -39,6 +39,7 @@ from repro.dist.sgd import SGD
 from repro.dist.train import _batch_columns
 from repro.errors import ConfigurationError, ShapeError
 from repro.simmpi.engine import SimEngine, SimResult
+from repro.telemetry.spans import span
 
 __all__ = [
     "IntegratedCNNConfig",
@@ -313,67 +314,80 @@ def _cnn_train_program(
     nfc = len(fc_ws)
 
     for step in range(steps):
-        if lr_schedule is not None:
-            opt.lr = float(lr_schedule(step))
-        cols = _batch_columns(step, batch, n, schedule)
-        my_cols = col_part.take(cols, grid.col)
-        yb_local = y[my_cols]
-        b_local = len(my_cols)
-        # Input: my batch shard, my row block of each image.
-        a = convs[0].partition.take(x[my_cols], grid.row, axis=2)
-        # --- forward: domain conv stack ---
-        conv_pre, pool_args, pool_inshapes = [], [], []
-        for i, op in enumerate(convs):
-            z = op.forward(a, conv_ws[i])
-            conv_pre.append(z)
-            a = relu(z)
-            if config.pool_after[i]:
-                pool_inshapes.append(a.shape)
-                a, arg = maxpool2d_forward(a, 2)  # local rows are even-aligned
-                pool_args.append(arg)
-            else:
-                pool_inshapes.append(None)
-                pool_args.append(None)
-        # --- redistribution (Eq. 6): all-gather rows over the Pr group ---
-        if grid.pr > 1:
-            a_full = grid.col_comm.allgather(a, axis=2, algorithm="bruck")
-        else:
-            a_full = a
-        flat_shape = a_full.shape
-        acts = [a_full.reshape(b_local, -1).T]  # (features, b_local)
-        # --- forward: 1.5D FC stack ---
-        zs = []
-        for i in range(nfc):
-            z = forward_15d(grid, fc_ws[i], acts[-1])
-            zs.append(z)
-            acts.append(relu(z) if i < nfc - 1 else z)
-        loss_local, dz = softmax_cross_entropy(zs[-1], yb_local, global_batch=batch)
-        loss_global = float(
-            grid.row_comm.allreduce(np.array([loss_local]), algorithm="ring")[0]
-        )
-        losses.append(loss_global)
-        # --- backward: FC stack ---
-        fc_grads: List[Optional[np.ndarray]] = [None] * nfc
-        for i in range(nfc - 1, -1, -1):
-            dy_rows = fc_row_parts[i].take(dz, grid.row, axis=0)
-            fc_grads[i] = backward_dw_15d(grid, dy_rows, acts[i])
-            da = backward_dx_15d(grid, fc_ws[i], dy_rows)
-            if i > 0:
-                dz = relu_grad(zs[i - 1], da)
-        # --- backward through the redistribution: slice my rows, no comm ---
-        d_feat_full = da.T.reshape(flat_shape)
-        pooled_part = BlockPartition(flat_shape[2], grid.pr)
-        d_feat = pooled_part.take(d_feat_full, grid.row, axis=2).copy()
-        # --- backward: domain conv stack ---
-        conv_grads: List[Optional[np.ndarray]] = [None] * config.num_convs
-        for i in range(config.num_convs - 1, -1, -1):
-            if config.pool_after[i]:
-                d_feat = maxpool2d_backward(d_feat, pool_args[i], pool_inshapes[i], 2)
-            dzc = relu_grad(conv_pre[i], d_feat)
-            d_feat, dw_partial = convs[i].backward(dzc, conv_ws[i])
-            # Weights are replicated on all P ranks: all-reduce everywhere.
-            conv_grads[i] = grid.comm.allreduce(dw_partial, algorithm="ring")
-        opt.step(conv_ws + fc_ws, conv_grads + fc_grads)  # type: ignore[arg-type]
+        with span("step", comm=comm, step=step):
+            if lr_schedule is not None:
+                opt.lr = float(lr_schedule(step))
+            cols = _batch_columns(step, batch, n, schedule)
+            my_cols = col_part.take(cols, grid.col)
+            yb_local = y[my_cols]
+            b_local = len(my_cols)
+            # Input: my batch shard, my row block of each image.
+            a = convs[0].partition.take(x[my_cols], grid.row, axis=2)
+            # --- forward: domain conv stack ---
+            conv_pre, pool_args, pool_inshapes = [], [], []
+            for i, op in enumerate(convs):
+                with span("conv_fwd", comm=comm, layer=i):
+                    z = op.forward(a, conv_ws[i])
+                conv_pre.append(z)
+                a = relu(z)
+                if config.pool_after[i]:
+                    pool_inshapes.append(a.shape)
+                    a, arg = maxpool2d_forward(a, 2)  # local rows are even-aligned
+                    pool_args.append(arg)
+                else:
+                    pool_inshapes.append(None)
+                    pool_args.append(None)
+            # --- redistribution (Eq. 6): all-gather rows over the Pr group ---
+            with span("redist", comm=comm):
+                if grid.pr > 1:
+                    a_full = grid.col_comm.allgather(a, axis=2, algorithm="bruck")
+                else:
+                    a_full = a
+            flat_shape = a_full.shape
+            acts = [a_full.reshape(b_local, -1).T]  # (features, b_local)
+            # --- forward: 1.5D FC stack ---
+            zs = []
+            for i in range(nfc):
+                with span("fwd", comm=comm, layer=i):
+                    z = forward_15d(grid, fc_ws[i], acts[-1])
+                zs.append(z)
+                acts.append(relu(z) if i < nfc - 1 else z)
+            with span("loss", comm=comm):
+                loss_local, dz = softmax_cross_entropy(
+                    zs[-1], yb_local, global_batch=batch
+                )
+                loss_global = float(
+                    grid.row_comm.allreduce(np.array([loss_local]), algorithm="ring")[0]
+                )
+            losses.append(loss_global)
+            # --- backward: FC stack ---
+            fc_grads: List[Optional[np.ndarray]] = [None] * nfc
+            for i in range(nfc - 1, -1, -1):
+                dy_rows = fc_row_parts[i].take(dz, grid.row, axis=0)
+                with span("bwd_dw", comm=comm, layer=i):
+                    fc_grads[i] = backward_dw_15d(grid, dy_rows, acts[i])
+                with span("bwd_dx", comm=comm, layer=i):
+                    da = backward_dx_15d(grid, fc_ws[i], dy_rows)
+                if i > 0:
+                    dz = relu_grad(zs[i - 1], da)
+            # --- backward through the redistribution: slice my rows, no comm ---
+            d_feat_full = da.T.reshape(flat_shape)
+            pooled_part = BlockPartition(flat_shape[2], grid.pr)
+            d_feat = pooled_part.take(d_feat_full, grid.row, axis=2).copy()
+            # --- backward: domain conv stack ---
+            conv_grads: List[Optional[np.ndarray]] = [None] * config.num_convs
+            for i in range(config.num_convs - 1, -1, -1):
+                with span("conv_bwd", comm=comm, layer=i):
+                    if config.pool_after[i]:
+                        d_feat = maxpool2d_backward(
+                            d_feat, pool_args[i], pool_inshapes[i], 2
+                        )
+                    dzc = relu_grad(conv_pre[i], d_feat)
+                    d_feat, dw_partial = convs[i].backward(dzc, conv_ws[i])
+                    # Weights are replicated on all P ranks: all-reduce everywhere.
+                    conv_grads[i] = grid.comm.allreduce(dw_partial, algorithm="ring")
+            with span("update", comm=comm):
+                opt.step(conv_ws + fc_ws, conv_grads + fc_grads)  # type: ignore[arg-type]
     return conv_ws, fc_ws, losses
 
 
@@ -394,6 +408,7 @@ def distributed_cnn_train(
     lr_schedule=None,
     machine=None,
     trace: bool = False,
+    metrics=None,
 ) -> Tuple[CNNParams, List[float], SimResult]:
     """Integrated training on a ``pr x pc`` grid; returns full params.
 
@@ -405,7 +420,7 @@ def distributed_cnn_train(
         raise ConfigurationError(
             f"batch {batch} must divide evenly over Pc={pc} for this trainer"
         )
-    engine = SimEngine(pr * pc, machine, trace=trace)
+    engine = SimEngine(pr * pc, machine, trace=trace, metrics=metrics)
     result = engine.run(
         _cnn_train_program,
         config,

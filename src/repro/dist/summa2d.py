@@ -30,6 +30,7 @@ import numpy as np
 from repro.dist.grid import GridComm
 from repro.dist.partition import BlockPartition
 from repro.errors import PartitionError, ShapeError
+from repro.telemetry.spans import span
 
 __all__ = ["distribute_2d", "summa_stationary_c", "summa_matmul"]
 
@@ -78,29 +79,31 @@ def summa_stationary_c(
     m_i = a_rows.size(grid.row)
     n_j = b_local.shape[1]
     c_local = np.zeros((m_i, n_j), dtype=np.result_type(a_local, b_local))
-    for t in range(steps):
-        p0, p1 = panels.bounds(t)
-        # A panel: owned by the grid column whose k-block contains it.
-        owner_col = a_cols.owner(p0)
-        if grid.col == owner_col:
-            off = a_cols.bounds(owner_col)[0]
-            a_panel: Optional[np.ndarray] = np.ascontiguousarray(
-                a_local[:, p0 - off : p1 - off]
-            )
-        else:
-            a_panel = None
-        a_panel = grid.row_comm.bcast(a_panel, root=owner_col)
-        # B panel: owned by the grid row whose k-block contains it.
-        owner_row = b_rows.owner(p0)
-        if grid.row == owner_row:
-            off = b_rows.bounds(owner_row)[0]
-            b_panel: Optional[np.ndarray] = np.ascontiguousarray(
-                b_local[p0 - off : p1 - off, :]
-            )
-        else:
-            b_panel = None
-        b_panel = grid.col_comm.bcast(b_panel, root=owner_row)
-        c_local += a_panel @ b_panel
+    with span("summa", comm=grid.comm, pr=pr, pc=pc):
+        for t in range(steps):
+            with span("panel", comm=grid.comm, t=t):
+                p0, p1 = panels.bounds(t)
+                # A panel: owned by the grid column whose k-block contains it.
+                owner_col = a_cols.owner(p0)
+                if grid.col == owner_col:
+                    off = a_cols.bounds(owner_col)[0]
+                    a_panel: Optional[np.ndarray] = np.ascontiguousarray(
+                        a_local[:, p0 - off : p1 - off]
+                    )
+                else:
+                    a_panel = None
+                a_panel = grid.row_comm.bcast(a_panel, root=owner_col)
+                # B panel: owned by the grid row whose k-block contains it.
+                owner_row = b_rows.owner(p0)
+                if grid.row == owner_row:
+                    off = b_rows.bounds(owner_row)[0]
+                    b_panel: Optional[np.ndarray] = np.ascontiguousarray(
+                        b_local[p0 - off : p1 - off, :]
+                    )
+                else:
+                    b_panel = None
+                b_panel = grid.col_comm.bcast(b_panel, root=owner_row)
+                c_local += a_panel @ b_panel
     return c_local
 
 

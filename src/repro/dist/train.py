@@ -24,6 +24,7 @@ from repro.dist.partition import BlockPartition
 from repro.dist.sgd import SGD
 from repro.errors import ConfigurationError, ShapeError
 from repro.simmpi.engine import SimEngine, SimResult
+from repro.telemetry.spans import span
 
 __all__ = [
     "MLPParams",
@@ -162,34 +163,42 @@ def mlp_train_program(
     losses: List[float] = []
     num_layers = len(w_locals)
     for step in range(steps):
-        if lr_schedule is not None:
-            opt.lr = float(lr_schedule(step))
-        cols = _batch_columns(step, batch, n, schedule)
-        my_cols = col_part.take(cols, grid.col)
-        a_local = x[:, my_cols]
-        yb_local = y[my_cols]
-        # Forward: cache the full (d_i x b_c) activations per layer.
-        acts = [a_local]
-        zs = []
-        for i in range(num_layers):
-            z = forward_15d(grid, w_locals[i], acts[-1])
-            zs.append(z)
-            acts.append(relu(z) if i < num_layers - 1 else z)
-        loss_local, dz = softmax_cross_entropy(zs[-1], yb_local, global_batch=batch)
-        # Global loss: shard losses add over the Pc batch groups.
-        loss_global = float(
-            grid.row_comm.allreduce(np.array([loss_local]), algorithm="ring")[0]
-        )
-        losses.append(loss_global)
-        # Backward.
-        grads: List[Optional[np.ndarray]] = [None] * num_layers
-        for i in range(num_layers - 1, -1, -1):
-            dy_rows = row_parts[i].take(dz, grid.row, axis=0)
-            grads[i] = backward_dw_15d(grid, dy_rows, acts[i])
-            if i > 0:
-                da = backward_dx_15d(grid, w_locals[i], dy_rows)
-                dz = relu_grad(zs[i - 1], da)
-        opt.step(w_locals, grads)  # type: ignore[arg-type]
+        with span("step", comm=comm, step=step):
+            if lr_schedule is not None:
+                opt.lr = float(lr_schedule(step))
+            cols = _batch_columns(step, batch, n, schedule)
+            my_cols = col_part.take(cols, grid.col)
+            a_local = x[:, my_cols]
+            yb_local = y[my_cols]
+            # Forward: cache the full (d_i x b_c) activations per layer.
+            acts = [a_local]
+            zs = []
+            for i in range(num_layers):
+                with span("fwd", comm=comm, layer=i):
+                    z = forward_15d(grid, w_locals[i], acts[-1])
+                zs.append(z)
+                acts.append(relu(z) if i < num_layers - 1 else z)
+            with span("loss", comm=comm):
+                loss_local, dz = softmax_cross_entropy(
+                    zs[-1], yb_local, global_batch=batch
+                )
+                # Global loss: shard losses add over the Pc batch groups.
+                loss_global = float(
+                    grid.row_comm.allreduce(np.array([loss_local]), algorithm="ring")[0]
+                )
+            losses.append(loss_global)
+            # Backward.
+            grads: List[Optional[np.ndarray]] = [None] * num_layers
+            for i in range(num_layers - 1, -1, -1):
+                dy_rows = row_parts[i].take(dz, grid.row, axis=0)
+                with span("bwd_dw", comm=comm, layer=i):
+                    grads[i] = backward_dw_15d(grid, dy_rows, acts[i])
+                if i > 0:
+                    with span("bwd_dx", comm=comm, layer=i):
+                        da = backward_dx_15d(grid, w_locals[i], dy_rows)
+                    dz = relu_grad(zs[i - 1], da)
+            with span("update", comm=comm):
+                opt.step(w_locals, grads)  # type: ignore[arg-type]
     return w_locals, losses
 
 
@@ -224,15 +233,19 @@ def distributed_mlp_train(
     lr_schedule=None,
     machine=None,
     trace: bool = False,
+    metrics=None,
 ) -> Tuple[List[np.ndarray], List[float], SimResult]:
     """Train on a simulated ``pr x pc`` grid; returns full weights, losses, run.
 
     The returned losses are the per-step global losses (identical on
     every rank); the weights are reassembled from the rank blocks.
+    ``metrics`` optionally attaches a
+    :class:`~repro.telemetry.metrics.MetricsRegistry` as the engine's
+    streaming event sink.
     """
     if batch % 1:
         raise ConfigurationError("batch must be an integer")
-    engine = SimEngine(pr * pc, machine, trace=trace)
+    engine = SimEngine(pr * pc, machine, trace=trace, metrics=metrics)
     result = engine.run(
         mlp_train_program,
         params0,

@@ -8,7 +8,7 @@ from typing import Union
 from repro.core.results import ResultTable
 from repro.errors import ConfigurationError
 
-__all__ = ["export_results", "write_text"]
+__all__ = ["export_results", "export_metrics", "write_text"]
 
 
 def write_text(path: Union[str, os.PathLike], content: str) -> str:
@@ -39,3 +39,14 @@ def export_results(
         "json": write_text(os.path.join(directory, f"{stem}.json"), table.to_json(indent=2)),
     }
     return paths
+
+
+def export_metrics(
+    registry, directory: Union[str, os.PathLike], stem: str = "metrics"
+) -> dict:
+    """Dump a :class:`~repro.telemetry.metrics.MetricsRegistry` to files.
+
+    Flattens every labelled series via ``registry.to_table()`` and
+    writes the same txt/csv/json triple as :func:`export_results`.
+    """
+    return export_results(registry.to_table(stem), directory, stem)

@@ -8,13 +8,19 @@ pipelines, Bruck rounds, halo waits) visible at a glance.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.report.tables import format_seconds
 from repro.simmpi.tracing import TraceEvent
+from repro.telemetry.spans import base_name
 
-__all__ = ["render_timeline", "render_fault_log", "traffic_matrix"]
+__all__ = [
+    "render_timeline",
+    "render_fault_log",
+    "render_span_timeline",
+    "traffic_matrix",
+]
 
 
 def render_timeline(
@@ -98,6 +104,53 @@ def render_fault_log(events: Sequence[TraceEvent]) -> str:
             f"[{format_seconds(e.t_start):>10}] rank {e.rank:>3}  "
             f"{kind:<9} {detail}"
         )
+    return "\n".join(lines)
+
+
+def render_span_timeline(events: Sequence[TraceEvent], *, width: int = 72) -> str:
+    """Per-rank activity bars grouped by telemetry span.
+
+    Each rank gets one row per *top-level* span name it entered
+    (``step``, ``shrink``, ...), painted with ``#`` over the span's
+    virtual-time intervals; fault events overprint ``!`` on the rank's
+    rows.  Requires a trace produced with telemetry spans (see
+    :mod:`repro.telemetry.spans`); returns a placeholder line when the
+    trace carries none.
+    """
+    if width < 10:
+        raise ConfigurationError(f"width must be >= 10, got {width}")
+    spans = [e for e in events if e.op == "span" and e.span]
+    faults = [e for e in events if e.is_fault]
+    if not spans:
+        return "(no spans recorded; run with telemetry enabled)"
+    t_max = max(e.t_end for e in spans + faults)
+    if t_max <= 0:
+        return "(all spans at virtual time zero)"
+
+    def col(t: float) -> int:
+        return min(width - 1, int(width * t / t_max))
+
+    # Row per (rank, top-level span name), ranks then names by first use.
+    rows: Dict[tuple, List[str]] = {}
+    order: List[tuple] = []
+    for e in sorted(spans, key=lambda e: (e.rank, e.t_start)):
+        key = (e.rank, base_name(e.span[0]))
+        if key not in rows:
+            rows[key] = ["."] * width
+            order.append(key)
+        for c in range(col(e.t_start), col(e.t_end) + 1):
+            rows[key][c] = "#"
+    for e in faults:
+        for key in order:
+            if key[0] == e.rank:
+                rows[key][col(e.t_start)] = "!"
+    label_w = max(len(f"rank {rank} {name}") for rank, name in order)
+    lines = [
+        f"virtual time 0 .. {format_seconds(t_max)}  [#=in span  !=fault  .=outside]"
+    ]
+    for rank, name in sorted(order):
+        label = f"rank {rank} {name}"
+        lines.append(f"{label:<{label_w}} |{''.join(rows[(rank, name)])}|")
     return "\n".join(lines)
 
 

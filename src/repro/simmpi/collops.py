@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.errors import CommunicatorError
 from repro.simmpi.tracing import TraceEvent
+from repro.telemetry.spans import span
 
 __all__ = [
     "allgather_blocks",
@@ -35,9 +36,18 @@ __all__ = [
 _TAG_COLL = 7_000_000  # base tag namespace for collective rounds
 
 
-def _mark(comm, op: str, nbytes: int = 0) -> None:
+def _mark(comm, op: str, nbytes: int = 0, seq: Optional[int] = None) -> None:
+    """Record a collective-entry marker.
+
+    ``seq`` is the communicator's collective sequence number; the marker
+    tag ``(str(ctx), seq)`` is identical on every member rank for the
+    same collective call, giving audits a stable cross-rank join key
+    (``str`` rather than ``hash`` so traces compare across processes
+    regardless of hash randomization).
+    """
+    tag: tuple = () if seq is None else (str(comm._ctx), seq)
     comm._engine.tracer.record(
-        TraceEvent(comm.world_rank, op, -1, nbytes, comm.clock, comm.clock)
+        TraceEvent(comm.world_rank, op, -1, nbytes, comm.clock, comm.clock, tag)
     )
 
 
@@ -56,14 +66,16 @@ def allgather_blocks(comm, block: Any, algorithm: str = "bruck") -> List[Any]:
     p = comm.size
     if p == 1:
         return [block]
-    _mark(comm, f"allgather[{algorithm}]")
-    if algorithm == "bruck":
-        return _allgather_bruck(comm, block)
-    if algorithm == "ring":
-        return _allgather_ring(comm, block)
-    if algorithm == "naive":
-        return _allgather_naive(comm, block)
-    raise CommunicatorError(f"unknown all-gather algorithm {algorithm!r}")
+    seq = comm._next_coll_seq()
+    with span("allgather", comm=comm, alg=algorithm, seq=seq):
+        _mark(comm, f"allgather[{algorithm}]", seq=seq)
+        if algorithm == "bruck":
+            return _allgather_bruck(comm, block)
+        if algorithm == "ring":
+            return _allgather_ring(comm, block)
+        if algorithm == "naive":
+            return _allgather_naive(comm, block)
+        raise CommunicatorError(f"unknown all-gather algorithm {algorithm!r}")
 
 
 def _allgather_bruck(comm, block: Any) -> List[Any]:
@@ -141,16 +153,18 @@ def allreduce(comm, arr: np.ndarray, algorithm: str = "ring") -> np.ndarray:
         raise CommunicatorError("allreduce requires a NumPy array payload")
     if comm.size == 1:
         return arr.copy()
-    _mark(comm, f"allreduce[{algorithm}]", int(arr.nbytes))
-    if algorithm == "ring":
-        return _allreduce_ring(comm, arr)
-    if algorithm == "rd":
-        return _allreduce_recursive_doubling(comm, arr)
-    if algorithm == "rabenseifner":
-        return _allreduce_rabenseifner(comm, arr)
-    if algorithm == "naive":
-        return _allreduce_naive(comm, arr)
-    raise CommunicatorError(f"unknown all-reduce algorithm {algorithm!r}")
+    seq = comm._next_coll_seq()
+    with span("allreduce", comm=comm, alg=algorithm, seq=seq):
+        _mark(comm, f"allreduce[{algorithm}]", int(arr.nbytes), seq=seq)
+        if algorithm == "ring":
+            return _allreduce_ring(comm, arr)
+        if algorithm == "rd":
+            return _allreduce_recursive_doubling(comm, arr)
+        if algorithm == "rabenseifner":
+            return _allreduce_rabenseifner(comm, arr)
+        if algorithm == "naive":
+            return _allreduce_naive(comm, arr)
+        raise CommunicatorError(f"unknown all-reduce algorithm {algorithm!r}")
 
 
 def _allreduce_ring(comm, arr: np.ndarray) -> np.ndarray:
@@ -313,19 +327,21 @@ def reduce_scatter_ring(comm, arr: np.ndarray) -> np.ndarray:
     bounds = _chunk_bounds(flat.size, p)
     if p == 1:
         return flat.copy()
-    _mark(comm, "reduce_scatter[ring]", int(arr.nbytes))
-    right = (r + 1) % p
-    left = (r - 1) % p
-    for round_no in range(p - 1):
-        send_idx = (r - round_no - 1) % p
-        recv_idx = (r - round_no - 2) % p
-        tag = _TAG_COLL + 6000 + round_no
-        s0, s1 = bounds[send_idx]
-        received = comm.sendrecv(flat[s0:s1], right, left, tag)
-        r0, r1 = bounds[recv_idx]
-        flat[r0:r1] += received
-    s0, s1 = bounds[r]
-    return flat[s0:s1].copy()
+    seq = comm._next_coll_seq()
+    with span("reduce_scatter", comm=comm, alg="ring", seq=seq):
+        _mark(comm, "reduce_scatter[ring]", int(arr.nbytes), seq=seq)
+        right = (r + 1) % p
+        left = (r - 1) % p
+        for round_no in range(p - 1):
+            send_idx = (r - round_no - 1) % p
+            recv_idx = (r - round_no - 2) % p
+            tag = _TAG_COLL + 6000 + round_no
+            s0, s1 = bounds[send_idx]
+            received = comm.sendrecv(flat[s0:s1], right, left, tag)
+            r0, r1 = bounds[recv_idx]
+            flat[r0:r1] += received
+        s0, s1 = bounds[r]
+        return flat[s0:s1].copy()
 
 
 # ---------------------------------------------------------------------------
@@ -338,21 +354,23 @@ def bcast_binomial(comm, obj: Any, root: int = 0) -> Any:
     p, r = comm.size, comm.rank
     if p == 1:
         return obj
-    _mark(comm, "bcast")
-    vrank = (r - root) % p  # virtual rank with root at 0
-    mask = 1
-    have = vrank == 0
-    value = obj if have else None
-    rounds = math.ceil(math.log2(p))
-    # Round k: ranks with vrank < 2^k forward to vrank + 2^k.
-    for k in range(rounds):
-        step = 1 << k
-        tag = _TAG_COLL + 8000 + k
-        if vrank < step and vrank + step < p:
-            comm.send(value, ((vrank + step) + root) % p, tag)
-        elif step <= vrank < 2 * step:
-            value = comm.recv(((vrank - step) + root) % p, tag)
-    return value
+    seq = comm._next_coll_seq()
+    with span("bcast", comm=comm, seq=seq):
+        _mark(comm, "bcast", seq=seq)
+        vrank = (r - root) % p  # virtual rank with root at 0
+        mask = 1
+        have = vrank == 0
+        value = obj if have else None
+        rounds = math.ceil(math.log2(p))
+        # Round k: ranks with vrank < 2^k forward to vrank + 2^k.
+        for k in range(rounds):
+            step = 1 << k
+            tag = _TAG_COLL + 8000 + k
+            if vrank < step and vrank + step < p:
+                comm.send(value, ((vrank + step) + root) % p, tag)
+            elif step <= vrank < 2 * step:
+                value = comm.recv(((vrank - step) + root) % p, tag)
+        return value
 
 
 def gather_naive(comm, obj: Any, root: int = 0) -> Optional[List[Any]]:
@@ -360,15 +378,17 @@ def gather_naive(comm, obj: Any, root: int = 0) -> Optional[List[Any]]:
     p, r = comm.size, comm.rank
     if p == 1:
         return [obj]
-    _mark(comm, "gather")
-    tag = _TAG_COLL + 9000
-    if r == root:
-        out: List[Any] = []
-        for src in range(p):
-            out.append(obj if src == root else comm.recv(src, tag + src))
-        return out
-    comm.send(obj, root, tag + r)
-    return None
+    seq = comm._next_coll_seq()
+    with span("gather", comm=comm, seq=seq):
+        _mark(comm, "gather", seq=seq)
+        tag = _TAG_COLL + 9000
+        if r == root:
+            out: List[Any] = []
+            for src in range(p):
+                out.append(obj if src == root else comm.recv(src, tag + src))
+            return out
+        comm.send(obj, root, tag + r)
+        return None
 
 
 def scatter_blocks(comm, blocks: Optional[Sequence[Any]], root: int = 0) -> Any:
@@ -381,18 +401,20 @@ def scatter_blocks(comm, blocks: Optional[Sequence[Any]], root: int = 0) -> Any:
         if not blocks:
             raise CommunicatorError("root must supply one block per rank")
         return blocks[0]
-    _mark(comm, "scatter")
-    tag = _TAG_COLL + 13_000
-    if r == root:
-        if blocks is None or len(blocks) != p:
-            raise CommunicatorError(
-                f"root must supply {p} blocks, got {None if blocks is None else len(blocks)}"
-            )
-        for dest in range(p):
-            if dest != root:
-                comm.send(blocks[dest], dest, tag + dest)
-        return blocks[root]
-    return comm.recv(root, tag + r)
+    seq = comm._next_coll_seq()
+    with span("scatter", comm=comm, seq=seq):
+        _mark(comm, "scatter", seq=seq)
+        tag = _TAG_COLL + 13_000
+        if r == root:
+            if blocks is None or len(blocks) != p:
+                raise CommunicatorError(
+                    f"root must supply {p} blocks, got {None if blocks is None else len(blocks)}"
+                )
+            for dest in range(p):
+                if dest != root:
+                    comm.send(blocks[dest], dest, tag + dest)
+            return blocks[root]
+        return comm.recv(root, tag + r)
 
 
 def reduce_to_root(comm, arr: np.ndarray, root: int = 0) -> Optional[np.ndarray]:
@@ -402,23 +424,25 @@ def reduce_to_root(comm, arr: np.ndarray, root: int = 0) -> Optional[np.ndarray]
     p, r = comm.size, comm.rank
     if p == 1:
         return arr.copy()
-    _mark(comm, "reduce", int(arr.nbytes))
-    vrank = (r - root) % p
-    value = arr.copy()
-    mask = 1
-    round_no = 0
-    # Mirror image of the binomial broadcast: leaves send first.
-    while mask < p:
-        tag = _TAG_COLL + 14_000 + round_no
-        if vrank & mask:
-            comm.send(value, ((vrank - mask) + root) % p, tag)
-            return None
-        partner = vrank | mask
-        if partner < p:
-            value = value + comm.recv((partner + root) % p, tag)
-        mask <<= 1
-        round_no += 1
-    return value
+    seq = comm._next_coll_seq()
+    with span("reduce", comm=comm, seq=seq):
+        _mark(comm, "reduce", int(arr.nbytes), seq=seq)
+        vrank = (r - root) % p
+        value = arr.copy()
+        mask = 1
+        round_no = 0
+        # Mirror image of the binomial broadcast: leaves send first.
+        while mask < p:
+            tag = _TAG_COLL + 14_000 + round_no
+            if vrank & mask:
+                comm.send(value, ((vrank - mask) + root) % p, tag)
+                return None
+            partner = vrank | mask
+            if partner < p:
+                value = value + comm.recv((partner + root) % p, tag)
+            mask <<= 1
+            round_no += 1
+        return value
 
 
 def barrier_dissemination(comm) -> None:
@@ -431,16 +455,18 @@ def barrier_dissemination(comm) -> None:
     p, r = comm.size, comm.rank
     if p == 1:
         return
-    _mark(comm, "barrier")
-    step = 1
-    round_no = 0
-    while step < p:
-        dest = (r + step) % p
-        source = (r - step) % p
-        tag = _TAG_COLL + 11_000 + round_no
-        comm.sendrecv(b"", dest, source, tag)
-        step *= 2
-        round_no += 1
+    seq = comm._next_coll_seq()
+    with span("barrier", comm=comm, seq=seq):
+        _mark(comm, "barrier", seq=seq)
+        step = 1
+        round_no = 0
+        while step < p:
+            dest = (r + step) % p
+            source = (r - step) % p
+            tag = _TAG_COLL + 11_000 + round_no
+            comm.sendrecv(b"", dest, source, tag)
+            step *= 2
+            round_no += 1
 
 
 def halo_exchange_1d(
@@ -460,17 +486,19 @@ def halo_exchange_1d(
     tag_up = _TAG_COLL + 10_001  # data travelling to lower ranks
     if p == 1:
         return None, None
-    _mark(comm, "halo_exchange")
-    from_above = None
-    from_below = None
-    # Send down (to r+1), receive from above (r-1).
-    if r + 1 < p:
-        comm.send(bottom_rows, r + 1, tag_down)
-    if r > 0:
-        from_above = comm.recv(r - 1, tag_down)
-    # Send up (to r-1), receive from below (r+1).
-    if r > 0:
-        comm.send(top_rows, r - 1, tag_up)
-    if r + 1 < p:
-        from_below = comm.recv(r + 1, tag_up)
-    return from_above, from_below
+    seq = comm._next_coll_seq()
+    with span("halo_exchange", comm=comm, seq=seq):
+        _mark(comm, "halo_exchange", seq=seq)
+        from_above = None
+        from_below = None
+        # Send down (to r+1), receive from above (r-1).
+        if r + 1 < p:
+            comm.send(bottom_rows, r + 1, tag_down)
+        if r > 0:
+            from_above = comm.recv(r - 1, tag_down)
+        # Send up (to r-1), receive from below (r+1).
+        if r > 0:
+            comm.send(top_rows, r - 1, tag_up)
+        if r + 1 < p:
+            from_below = comm.recv(r + 1, tag_up)
+        return from_above, from_below

@@ -26,7 +26,7 @@ from repro.errors import (
     PeerFailedError,
     TransientCommError,
 )
-from repro.simmpi.network import payload_bytes
+from repro.simmpi.network import payload_bytes, payload_data_bytes
 from repro.simmpi.tracing import TraceEvent
 
 __all__ = ["Comm", "Mailbox", "Request"]
@@ -126,17 +126,19 @@ class Request:
             self._key, engine.timeout, comm._interrupt_for(self._key[1])
         )
         engine.sync_clock(comm.world_rank, arrival)
-        engine.tracer.record(
-            TraceEvent(
-                comm.world_rank,
-                "recv",
-                self._key[1],
-                payload_bytes(payload),
-                t0,
-                comm.clock,
-                (self._key[3],),
+        if engine.tracer.enabled:
+            engine.tracer.record(
+                TraceEvent(
+                    comm.world_rank,
+                    "recv",
+                    self._key[1],
+                    payload_bytes(payload),
+                    t0,
+                    comm.clock,
+                    (self._key[3],),
+                    data_bytes=payload_data_bytes(payload),
+                )
             )
-        )
         self._payload = payload
         self._done = True
         return payload
@@ -182,6 +184,19 @@ class Comm:
                 f"world rank {my_world_rank} is not a member of {world_ranks}"
             )
         self._split_seq = 0
+        self._coll_seq = 0
+
+    def _next_coll_seq(self) -> int:
+        """Per-communicator collective sequence number.
+
+        Every rank of a communicator calls collectives in the same
+        program order, so the counter advances identically everywhere —
+        a stable cross-rank join key for trace audits (satellite: stable
+        collective tag scheme).
+        """
+        seq = self._coll_seq
+        self._coll_seq += 1
+        return seq
 
     # -- identity ----------------------------------------------------------
 
@@ -293,9 +308,13 @@ class Comm:
             arrival = engine.network.arrival_time(t0, nbytes)
             engine.advance_clock(self._world_rank, engine.network.machine.alpha)
             engine.mailbox.post(key, payload, arrival)
-            engine.tracer.record(
-                TraceEvent(self._world_rank, "send", dst_world, nbytes, t0, self.clock, (tag,))
-            )
+            if engine.tracer.enabled:
+                engine.tracer.record(
+                    TraceEvent(
+                        self._world_rank, "send", dst_world, nbytes, t0, self.clock, (tag,),
+                        data_bytes=payload_data_bytes(obj),
+                    )
+                )
             return
         outcome = injector.send_outcome(self._world_rank, dst_world)
         attempt = 0
@@ -346,9 +365,13 @@ class Comm:
                     t0, self.clock, (tag, attempt),
                 )
             )
-        engine.tracer.record(
-            TraceEvent(self._world_rank, "send", dst_world, nbytes, t0, self.clock, (tag,))
-        )
+        if engine.tracer.enabled:
+            engine.tracer.record(
+                TraceEvent(
+                    self._world_rank, "send", dst_world, nbytes, t0, self.clock, (tag,),
+                    data_bytes=payload_data_bytes(obj),
+                )
+            )
 
     def recv(self, source: int, tag: int = 0) -> Any:
         """Block for a message from ``source``; advances the clock to arrival."""
@@ -359,17 +382,19 @@ class Comm:
             key, self._engine.timeout, self._interrupt_for(src_world)
         )
         self._engine.sync_clock(self._world_rank, arrival)
-        self._engine.tracer.record(
-            TraceEvent(
-                self._world_rank,
-                "recv",
-                src_world,
-                payload_bytes(payload),
-                t0,
-                self.clock,
-                (tag,),
+        if self._engine.tracer.enabled:
+            self._engine.tracer.record(
+                TraceEvent(
+                    self._world_rank,
+                    "recv",
+                    src_world,
+                    payload_bytes(payload),
+                    t0,
+                    self.clock,
+                    (tag,),
+                    data_bytes=payload_data_bytes(payload),
+                )
             )
-        )
         return payload
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
@@ -497,6 +522,12 @@ class Comm:
         engine = self._engine
         if not engine.supervise:
             raise CommunicatorError("shrink requires a supervised engine")
+        from repro.telemetry.spans import span
+
+        with span("shrink", comm=self, gen=self._gen):
+            return self._shrink_loop(engine)
+
+    def _shrink_loop(self, engine) -> "Comm":
         while True:
             gen, alive = engine.begin_shrink()
             members = tuple(r for r in self._world_ranks if r in set(alive))

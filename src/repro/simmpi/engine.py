@@ -95,6 +95,14 @@ class SimEngine:
         Survive injected rank crashes instead of aborting: dead ranks
         are reported in :attr:`SimResult.failed` and survivors may
         ``shrink`` and continue.
+    metrics:
+        Optional :class:`~repro.telemetry.metrics.MetricsRegistry`.
+        When given, it is attached as the tracer's streaming sink so
+        every event updates the registry's aggregates — even when event
+        *storage* is capped or (with ``trace=False``) off entirely.
+    max_trace_events:
+        Optional cap on stored trace events (ring-buffer semantics; see
+        :class:`~repro.simmpi.tracing.Tracer`).
     """
 
     def __init__(
@@ -106,6 +114,8 @@ class SimEngine:
         trace: bool = False,
         faults: Optional[Union[FaultPlan, FaultInjector]] = None,
         supervise: bool = False,
+        metrics: Optional[Any] = None,
+        max_trace_events: Optional[int] = None,
     ) -> None:
         if size < 1:
             raise ConfigurationError(f"engine size must be >= 1, got {size}")
@@ -119,7 +129,14 @@ class SimEngine:
         self.timeout = timeout
         self.supervise = supervise
         self.mailbox = Mailbox()
-        self.tracer = Tracer(enabled=trace)
+        self.metrics = metrics
+        sink = metrics.observe_event if metrics is not None else None
+        self.tracer = Tracer(
+            enabled=trace or sink is not None,
+            max_events=max_trace_events,
+            sink=sink,
+            store=trace,
+        )
         self._clocks = [0.0] * size
         self._clock_lock = threading.Lock()
         self._abort = threading.Event()

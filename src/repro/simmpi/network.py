@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.machine.params import MachineParams, cori_knl
 
-__all__ = ["PostalNetwork", "payload_bytes"]
+__all__ = ["PostalNetwork", "payload_bytes", "payload_data_bytes"]
 
 
 def payload_bytes(obj: Any) -> int:
@@ -46,6 +46,35 @@ def payload_bytes(obj: Any) -> int:
         return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
     except Exception:  # pragma: no cover - unpicklable payloads are exotic
         return 64
+
+
+def payload_data_bytes(obj: Any) -> int:
+    """Raw numeric content of a payload, without serialization overhead.
+
+    Where :func:`payload_bytes` measures what travels on the wire
+    (pickle framing included for object sends), this counts only the
+    data itself — array elements, scalar words — recursing through
+    lists, tuples and dict values.  It is the quantity the paper's
+    bandwidth terms (Eqs. 3/4/8/9) predict, so telemetry audits compare
+    against it; the wire size still drives all virtual timings.
+    """
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, np.generic):
+        return int(obj.dtype.itemsize)
+    if isinstance(obj, complex):
+        return 16
+    if isinstance(obj, (bool, int, float)):
+        return 8
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, (list, tuple)):
+        return sum(payload_data_bytes(item) for item in obj)
+    if isinstance(obj, dict):
+        return sum(payload_data_bytes(value) for value in obj.values())
+    if obj is None:
+        return 0
+    return payload_bytes(obj)
 
 
 class PostalNetwork:

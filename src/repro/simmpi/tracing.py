@@ -4,13 +4,20 @@ When enabled on the engine, every point-to-point message and collective
 entry is recorded as a :class:`TraceEvent`, giving tests and examples a
 way to assert on *what was communicated* (message counts, volumes,
 round structure of the Bruck/ring algorithms), not just on results.
+
+Scalability: for long runs the in-memory event list can be bounded with
+``Tracer(max_events=...)`` (oldest events are dropped and counted in
+:attr:`Tracer.dropped`) or bypassed entirely by attaching a streaming
+``sink`` callback — e.g. a :class:`~repro.telemetry.metrics.MetricsRegistry`
+— which observes every event even when storage is capped or off.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import threading
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
 
 __all__ = ["TraceEvent", "Tracer"]
 
@@ -19,10 +26,18 @@ __all__ = ["TraceEvent", "Tracer"]
 class TraceEvent:
     """One communication event.
 
-    ``op`` is ``"send"``/``"recv"`` for point-to-point traffic or the
+    ``op`` is ``"send"``/``"recv"`` for point-to-point traffic, the
     collective name (``"allreduce"``, ``"allgather"``, ...) for
-    collective entry markers; ``peer`` is the remote world rank for p2p
-    events and ``-1`` otherwise.
+    collective entry markers, or ``"span"`` for telemetry phase
+    brackets; ``peer`` is the remote world rank for p2p events and
+    ``-1`` otherwise.
+
+    ``nbytes`` is the size *on the wire* (pickled objects are measured
+    by their pickle); ``data_bytes`` is the raw numeric content of the
+    payload (array elements only, no serialization overhead), which is
+    what the paper's bandwidth terms count.  ``span`` is the telemetry
+    span path active when the event was recorded — see
+    :mod:`repro.telemetry.spans`.
     """
 
     rank: int
@@ -31,7 +46,9 @@ class TraceEvent:
     nbytes: int
     t_start: float
     t_end: float
-    tag: Tuple = ()
+    tag: Tuple[object, ...] = ()
+    data_bytes: int = 0
+    span: Tuple[str, ...] = ()
 
     #: Prefix shared by every fault-subsystem event (``fault.crash``,
     #: ``fault.transient``, ``fault.retry``, ``fault.backoff``,
@@ -44,17 +61,64 @@ class TraceEvent:
 
 
 class Tracer:
-    """Thread-safe, append-only event log (no-op when disabled)."""
+    """Thread-safe, append-only event log (no-op when disabled).
 
-    def __init__(self, enabled: bool = False) -> None:
+    Parameters
+    ----------
+    enabled:
+        Master switch; when ``False``, :meth:`record` returns
+        immediately and :attr:`events` stays empty.
+    max_events:
+        Optional cap on the stored event list.  When exceeded, the
+        *oldest* events are dropped (ring-buffer semantics) and counted
+        in :attr:`dropped`.  ``None`` (the default) keeps everything,
+        matching the original unbounded behavior.
+    sink:
+        Optional callback invoked with every event as it is recorded —
+        a streaming consumer that sees events regardless of the storage
+        cap.  Exceptions from the sink propagate to the recording rank.
+    store:
+        Set ``False`` to skip the in-memory list entirely and only feed
+        the sink — constant-memory telemetry for arbitrarily long runs.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        *,
+        max_events: Optional[int] = None,
+        sink: Optional[Callable[[TraceEvent], None]] = None,
+        store: bool = True,
+    ) -> None:
         self.enabled = enabled
-        self._events: List[TraceEvent] = []
+        self.max_events = max_events
+        self.sink = sink
+        self.store = store
+        self.dropped = 0
+        self._events: "deque[TraceEvent] | List[TraceEvent]" = (
+            deque(maxlen=max_events) if max_events is not None else []
+        )
         self._lock = threading.Lock()
 
     def record(self, event: TraceEvent) -> None:
         if not self.enabled:
             return
+        if not event.span:
+            from repro.telemetry.spans import current_path
+
+            path = current_path()
+            if path:
+                event = dataclasses.replace(event, span=path)
+        if self.sink is not None:
+            self.sink(event)
+        if not self.store:
+            return
         with self._lock:
+            if (
+                self.max_events is not None
+                and len(self._events) == self.max_events
+            ):
+                self.dropped += 1
             self._events.append(event)
 
     @property
@@ -65,6 +129,7 @@ class Tracer:
     def clear(self) -> None:
         with self._lock:
             self._events.clear()
+            self.dropped = 0
 
     # -- aggregate views used by tests ------------------------------------
 

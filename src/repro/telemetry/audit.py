@@ -1,0 +1,272 @@
+"""Measured-vs-analytic communication audits (Eqs. 3/4/8).
+
+The simulator *executes* the 1.5D algorithm of Fig. 5 while the cost
+model *predicts* it in closed form; this module closes the loop.  It
+runs (or consumes a trace of) distributed MLP training, aggregates the
+measured per-step communication out of the span-annotated trace events,
+and compares per layer and per category against
+:func:`repro.core.costs.integrated_mb_cost`:
+
+* **bandwidth terms** — measured payload *data* bytes summed over all
+  ranks per step vs the analytic per-process volume times ``P``.  These
+  match with **zero** relative error for any grid shape and any (even
+  non-divisible) layer/batch split: e.g. a Bruck all-gather over ``Pr``
+  ranks moves exactly ``(Pr-1)/Pr * n`` elements per process on
+  average, so the group total is exactly ``(Pr-1) * n`` no matter how
+  unevenly ``n`` splits.
+* **latency terms** — measured message counts vs the round counts of
+  the simulated algorithms (Bruck: ``ceil(log2 Pr)`` sends per rank;
+  ring all-reduce: ``2 (P-1)`` sends per rank — the ``exact_latency``
+  convention of :mod:`repro.collectives.cost`).
+
+Pure model parallelism (``pc=1``) audits Eq. 3, pure batch (``pr=1``)
+Eq. 4, and the general grid Eq. 8.  The Eq. 9 domain terms are
+idealized-uniform in the paper (edge ranks exchange fewer halo rows
+than interior ranks), so halos are reported by the summary/metrics
+layers but not audited for exactness here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.costs import integrated_mb_cost
+from repro.core.results import ResultTable
+from repro.core.strategy import ProcessGrid
+from repro.errors import ConfigurationError
+from repro.machine.params import MachineParams, cori_knl
+from repro.simmpi.tracing import TraceEvent
+from repro.telemetry.spans import base_name, parse_label
+
+__all__ = [
+    "AuditTerm",
+    "AuditReport",
+    "audit_events",
+    "audit_mlp_15d",
+    "PHASE_CATEGORY",
+]
+
+#: Trainer span name -> cost-model category (Eq. 8's three sums).
+PHASE_CATEGORY = {
+    "fwd": "model.allgather_fwd",
+    "bwd_dx": "model.allreduce_dx",
+    "bwd_dw": "batch.allreduce_dw",
+}
+
+#: The simulated payloads are float64 NumPy arrays.
+SIM_ELEMENT_BYTES = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class AuditTerm:
+    """One (layer, category) comparison, per training step, all ranks."""
+
+    layer_index: int
+    category: str
+    predicted_bytes: float
+    measured_bytes: float
+    predicted_messages: float
+    measured_messages: float
+
+    @staticmethod
+    def _rel(measured: float, predicted: float) -> float:
+        if predicted == 0:
+            return 0.0 if measured == 0 else math.inf
+        return abs(measured - predicted) / predicted
+
+    @property
+    def bytes_rel_error(self) -> float:
+        """Relative error of the bandwidth (volume) term."""
+        return self._rel(self.measured_bytes, self.predicted_bytes)
+
+    @property
+    def messages_rel_error(self) -> float:
+        """Relative error of the latency (message-count) term."""
+        return self._rel(self.measured_messages, self.predicted_messages)
+
+
+@dataclasses.dataclass(frozen=True)
+class AuditReport:
+    """All audit terms of one run, with the headline error figures."""
+
+    terms: Tuple[AuditTerm, ...]
+    pr: int
+    pc: int
+    batch: int
+    steps: int
+
+    @property
+    def max_bandwidth_rel_error(self) -> float:
+        return max((t.bytes_rel_error for t in self.terms), default=0.0)
+
+    @property
+    def max_latency_rel_error(self) -> float:
+        return max((t.messages_rel_error for t in self.terms), default=0.0)
+
+    @property
+    def exact(self) -> bool:
+        """True when every bandwidth term matched with zero error."""
+        return self.max_bandwidth_rel_error == 0.0
+
+    def to_table(self) -> ResultTable:
+        table = ResultTable(
+            f"communication audit: measured vs Eq. 8 "
+            f"({self.pr}x{self.pc} grid, B={self.batch}, per step, all ranks)",
+            columns=[
+                "layer",
+                "category",
+                "predicted_bytes",
+                "measured_bytes",
+                "bytes_rel_err",
+                "predicted_msgs",
+                "measured_msgs",
+                "msgs_rel_err",
+            ],
+        )
+        for t in sorted(self.terms, key=lambda t: (t.layer_index, t.category)):
+            table.add_row(
+                layer=t.layer_index,
+                category=t.category,
+                predicted_bytes=round(t.predicted_bytes, 3),
+                measured_bytes=t.measured_bytes,
+                bytes_rel_err=t.bytes_rel_error,
+                predicted_msgs=round(t.predicted_messages, 3),
+                measured_msgs=t.measured_messages,
+                msgs_rel_err=t.messages_rel_error,
+            )
+        return table
+
+
+def _measured_phase_totals(
+    events: Sequence[TraceEvent],
+) -> Dict[Tuple[str, int], Tuple[int, int]]:
+    """Sum send data bytes and counts per (phase name, layer index).
+
+    Only ``send`` events are counted (each message once); the owning
+    phase is the innermost enclosing span whose base name is a trainer
+    phase (``fwd``/``bwd_dx``/``bwd_dw``).
+    """
+    totals: Dict[Tuple[str, int], Tuple[int, int]] = {}
+    for e in events:
+        if e.op != "send":
+            continue
+        for label in reversed(e.span):
+            name = base_name(label)
+            if name in PHASE_CATEGORY:
+                layer = parse_label(label)[1].get("layer", -1)
+                key = (name, int(layer))
+                nbytes, count = totals.get(key, (0, 0))
+                totals[key] = (nbytes + e.data_bytes, count + 1)
+                break
+    return totals
+
+
+def _predicted_messages(category: str, pr: int, pc: int) -> int:
+    """Per-step send count over all ``P = pr*pc`` ranks for one term.
+
+    Counts match the algorithms the simulator actually runs: Bruck
+    all-gather sends ``ceil(log2 Pr)`` messages per rank, the ring
+    all-reduce ``2 (group-1)`` per rank.
+    """
+    p = pr * pc
+    if category == "model.allgather_fwd":
+        return p * math.ceil(math.log2(pr))
+    if category == "model.allreduce_dx":
+        return p * 2 * (pr - 1)
+    if category == "batch.allreduce_dw":
+        return p * 2 * (pc - 1)
+    raise ConfigurationError(f"no message-count model for category {category!r}")
+
+
+def audit_events(
+    events: Sequence[TraceEvent],
+    dims: Sequence[int],
+    *,
+    pr: int,
+    pc: int,
+    batch: int,
+    steps: int,
+    machine: Optional[MachineParams] = None,
+) -> AuditReport:
+    """Audit an existing trace of :func:`repro.dist.train.mlp_train_program`.
+
+    ``dims`` are the MLP layer sizes the trace was produced with;
+    measured totals are averaged over ``steps`` (they are identical
+    every step) and compared against Eq. 8 for the same configuration.
+    """
+    from repro.nn import mlp
+
+    if steps < 1:
+        raise ConfigurationError(f"steps must be >= 1, got {steps}")
+    machine = machine if machine is not None else cori_knl()
+    network = mlp(list(dims))
+    breakdown = integrated_mb_cost(network, batch, ProcessGrid(pr, pc), machine)
+    measured = _measured_phase_totals(events)
+    p = pr * pc
+    category_phase = {v: k for k, v in PHASE_CATEGORY.items()}
+    terms = []
+    seen = set()
+    for cost_term in breakdown.terms:
+        phase = category_phase[cost_term.category]
+        # Trainer spans number layers from 0; weighted layers from 1.
+        key = (phase, cost_term.layer_index - 1)
+        seen.add(key)
+        meas_bytes, meas_msgs = measured.get(key, (0, 0))
+        terms.append(
+            AuditTerm(
+                layer_index=cost_term.layer_index,
+                category=cost_term.category,
+                predicted_bytes=cost_term.volume * p * SIM_ELEMENT_BYTES,
+                measured_bytes=meas_bytes / steps,
+                predicted_messages=_predicted_messages(cost_term.category, pr, pc),
+                measured_messages=meas_msgs / steps,
+            )
+        )
+    stray = set(measured) - seen
+    if stray:
+        raise ConfigurationError(
+            f"trace contains phase traffic the cost model does not predict: "
+            f"{sorted(stray)}"
+        )
+    return AuditReport(tuple(terms), pr=pr, pc=pc, batch=batch, steps=steps)
+
+
+def audit_mlp_15d(
+    dims: Sequence[int],
+    *,
+    pr: int,
+    pc: int,
+    batch: int,
+    steps: int = 2,
+    samples: Optional[int] = None,
+    machine: Optional[MachineParams] = None,
+    seed: int = 0,
+) -> Tuple[AuditReport, Tuple[TraceEvent, ...]]:
+    """Run traced 1.5D MLP training and audit it against Eq. 8.
+
+    Returns ``(report, events)`` so callers (the CLI, the tests) can
+    also export the trace.  The training run is deterministic in
+    ``seed``.
+    """
+    from repro.dist.train import MLPParams, mlp_train_program
+    from repro.simmpi.engine import SimEngine
+
+    n = samples if samples is not None else 4 * batch
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((dims[0], n))
+    y = rng.integers(0, dims[-1], n)
+    params0 = MLPParams.init(dims, seed=seed)
+    engine = SimEngine(pr * pc, machine, trace=True)
+    engine.run(
+        mlp_train_program, params0, x, y,
+        pr=pr, pc=pc, batch=batch, steps=steps,
+    )
+    events = engine.tracer.events
+    report = audit_events(
+        events, dims, pr=pr, pc=pc, batch=batch, steps=steps, machine=machine
+    )
+    return report, events

@@ -1,0 +1,285 @@
+"""A small metrics registry: counters, gauges and histograms.
+
+The registry is the aggregation side of telemetry: where the tracer
+records *every* event, metrics keep cheap running aggregates — bytes
+sent, message counts, fault/retry totals, virtual seconds per span kind
+— that stay O(label cardinality) no matter how long a run is.  Wired as
+the tracer's streaming sink (``SimEngine(..., metrics=registry)``) it
+observes every :class:`~repro.simmpi.tracing.TraceEvent` as it happens,
+including events dropped from a capped event store.
+
+Disabled registries (``MetricsRegistry(enabled=False)``, or the shared
+:data:`NULL_REGISTRY`) turn every mutation into an immediate no-op so
+instrumented code never needs to guard its calls.
+
+All metrics support free-form labels::
+
+    reg = MetricsRegistry()
+    reg.counter("bytes_sent").inc(4096, rank=0, op="send")
+    reg.histogram("span_seconds").observe(3.2e-4, span="fwd")
+    reg.to_table()          # ResultTable for repro.report.export
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.results import ResultTable
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+]
+
+LabelKey = Tuple[Tuple[str, Any], ...]
+
+
+def _key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+class _Metric:
+    """Shared plumbing: a name, a lock, and a labelled-series mapping."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, description: str, enabled: bool, lock: threading.Lock) -> None:
+        self.name = name
+        self.description = description
+        self._enabled = enabled
+        self._lock = lock
+        self._series: Dict[LabelKey, Any] = {}
+
+    def series(self) -> Dict[LabelKey, Any]:
+        """Snapshot of ``{labels: value}`` for this metric."""
+        with self._lock:
+            return dict(self._series)
+
+
+class Counter(_Metric):
+    """A monotonically increasing sum per label set."""
+
+    kind = "counter"
+
+    def inc(self, value: float = 1, **labels: Any) -> None:
+        if not self._enabled:
+            return
+        if value < 0:
+            raise ConfigurationError(f"counter {self.name!r} cannot decrease by {value}")
+        key = _key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0) + value
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return self._series.get(_key(labels), 0)
+
+    def total(self) -> float:
+        with self._lock:
+            return sum(self._series.values())
+
+
+class Gauge(_Metric):
+    """A last-write-wins value per label set, with a ``max`` helper."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        if not self._enabled:
+            return
+        with self._lock:
+            self._series[_key(labels)] = value
+
+    def set_max(self, value: float, **labels: Any) -> None:
+        """Keep the running maximum (used for per-rank clocks)."""
+        if not self._enabled:
+            return
+        key = _key(labels)
+        with self._lock:
+            cur = self._series.get(key)
+            if cur is None or value > cur:
+                self._series[key] = value
+
+    def value(self, **labels: Any) -> Optional[float]:
+        with self._lock:
+            return self._series.get(_key(labels))
+
+
+DEFAULT_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram per label set (plus count/sum/min/max)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        description: str,
+        enabled: bool,
+        lock: threading.Lock,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, description, enabled, lock)
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ConfigurationError("histogram needs at least one bucket bound")
+
+    def observe(self, value: float, **labels: Any) -> None:
+        if not self._enabled:
+            return
+        key = _key(labels)
+        with self._lock:
+            cell = self._series.get(key)
+            if cell is None:
+                cell = self._series[key] = {
+                    "count": 0,
+                    "sum": 0.0,
+                    "min": value,
+                    "max": value,
+                    "buckets": [0] * (len(self.buckets) + 1),
+                }
+            cell["count"] += 1
+            cell["sum"] += value
+            cell["min"] = min(cell["min"], value)
+            cell["max"] = max(cell["max"], value)
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    cell["buckets"][i] += 1
+                    break
+            else:
+                cell["buckets"][-1] += 1
+
+    def stats(self, **labels: Any) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            cell = self._series.get(_key(labels))
+            return None if cell is None else dict(cell)
+
+
+class MetricsRegistry:
+    """Creates and owns metrics; doubles as a tracer event sink.
+
+    Parameters
+    ----------
+    enabled:
+        With ``False`` every metric mutation (and :meth:`observe_event`)
+        returns immediately — the cheap no-op mode the instrumentation
+        relies on.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    # -- metric construction (idempotent by name) ---------------------------
+
+    def _get(self, cls, name: str, description: str, **kwargs) -> Any:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, description, self.enabled, self._lock, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as a {metric.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        return self._get(Counter, name, description)
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        return self._get(Gauge, name, description)
+
+    def histogram(
+        self, name: str, description: str = "", buckets: Iterable[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get(Histogram, name, description, buckets=buckets)
+
+    def metrics(self) -> Tuple[_Metric, ...]:
+        with self._lock:
+            return tuple(self._metrics.values())
+
+    # -- the standard trace-event sink --------------------------------------
+
+    def observe_event(self, event: Any) -> None:
+        """Update the standard communication metrics from one trace event.
+
+        Accepts any :class:`~repro.simmpi.tracing.TraceEvent`; suitable
+        for ``Tracer(sink=registry.observe_event)`` (which is what
+        ``SimEngine(metrics=registry)`` wires up).
+        """
+        if not self.enabled:
+            return
+        op = event.op
+        if op in ("send", "recv"):
+            self.counter("comm.messages", "p2p messages").inc(1, rank=event.rank, op=op)
+            self.counter("comm.bytes", "p2p wire bytes").inc(
+                event.nbytes, rank=event.rank, op=op
+            )
+            self.counter("comm.data_bytes", "p2p payload data bytes").inc(
+                event.data_bytes, rank=event.rank, op=op
+            )
+            if op == "recv":
+                self.histogram("comm.recv_seconds", "virtual receive latency").observe(
+                    event.t_end - event.t_start, rank=event.rank
+                )
+        elif op == "span":
+            from repro.telemetry.spans import base_name
+
+            name = base_name(event.span[-1]) if event.span else "?"
+            self.counter("span.count", "spans closed").inc(1, rank=event.rank, span=name)
+            self.counter("span.seconds", "virtual seconds inside spans").inc(
+                event.t_end - event.t_start, rank=event.rank, span=name
+            )
+        elif op.startswith("fault."):
+            self.counter("faults.events", "fault-subsystem events").inc(
+                1, rank=event.rank, kind=op[len("fault."):]
+            )
+        else:  # collective entry markers ("allreduce[ring]", ...)
+            self.counter("coll.calls", "collective entries").inc(
+                1, rank=event.rank, op=op
+            )
+        self.gauge("clock.seconds", "per-rank virtual clock").set_max(
+            event.t_end, rank=event.rank
+        )
+
+    # -- export --------------------------------------------------------------
+
+    def to_rows(self) -> List[Dict[str, Any]]:
+        """Flatten every labelled series into export-friendly dicts."""
+        rows: List[Dict[str, Any]] = []
+        for metric in self.metrics():
+            for key, value in sorted(metric.series().items(), key=lambda kv: str(kv[0])):
+                row: Dict[str, Any] = {
+                    "metric": metric.name,
+                    "type": metric.kind,
+                    "labels": ",".join(f"{k}={v}" for k, v in key),
+                }
+                if metric.kind == "histogram":
+                    row.update(
+                        count=value["count"],
+                        value=value["sum"],
+                        min=value["min"],
+                        max=value["max"],
+                    )
+                else:
+                    row["value"] = value
+                rows.append(row)
+        return rows
+
+    def to_table(self, title: str = "metrics") -> ResultTable:
+        table = ResultTable(title, columns=["metric", "type", "labels", "value"])
+        table.extend(self.to_rows())
+        return table
+
+
+#: A shared disabled registry: every mutation is a no-op.
+NULL_REGISTRY = MetricsRegistry(enabled=False)

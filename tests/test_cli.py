@@ -82,6 +82,48 @@ class TestBest:
         assert "blocking (critical-path) communication" in out
 
 
+class TestTrace:
+    def test_trace_audit_is_exact(self, capsys):
+        assert main(["trace", "--assert-exact"]) == 0
+        out = capsys.readouterr().out
+        assert "per-span summary" in out
+        assert "communication audit" in out
+        assert "-> EXACT" in out
+
+    def test_trace_fig7_exports_chrome_trace(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "trace", "--experiment", "fig7", "--pr", "4", "--pc", "2",
+                    "--out", str(tmp_path), "--assert-exact",
+                ]
+            )
+            == 0
+        )
+        files = os.listdir(tmp_path)
+        for name in ("trace.json", "audit.csv", "metrics.json", "spans.txt"):
+            assert name in files
+        import json
+
+        from repro.telemetry.chrome import validate_chrome_trace
+
+        with open(tmp_path / "trace.json", "r", encoding="utf-8") as fh:
+            assert validate_chrome_trace(json.load(fh)) > 0
+
+    def test_trace_per_rank_summary(self, capsys):
+        assert main(["trace", "--per-rank"]) == 0
+        assert "rank" in capsys.readouterr().out
+
+    def test_trace_bad_config_fails_cleanly(self, capsys):
+        # steps = 0 gives the audit nothing to compare; exits 2, no traceback.
+        assert main(["trace", "--steps", "0"]) == 2
+        assert "trace failed" in capsys.readouterr().err
+
+    def test_trace_rejects_unknown_preset(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "--experiment", "nope"])
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -118,6 +160,12 @@ class TestFaults:
 
     def test_faults_rejects_tiny_world(self, capsys):
         assert main(["faults", "--ranks", "1"]) == 2
+
+    def test_faults_prints_span_timeline(self, capsys):
+        assert main(["faults"]) == 0
+        out = capsys.readouterr().out
+        assert "#=in span" in out
+        assert "recovery" in out
 
     def test_faults_no_fault_plan_runs_clean(self, tmp_path, capsys):
         from repro.simmpi.faults import FaultPlan

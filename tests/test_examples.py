@@ -19,6 +19,7 @@ EXPECTED_SNIPPETS = {
     "grid_switching.py": "reproduces serial SGD exactly",
     "summa_vs_15d.py": "1.5D never moves more than SUMMA",
     "trace_timeline.py": "only adjacent row owners exchange boundaries",
+    "telemetry_trace.py": "zero relative error on every bandwidth term",
 }
 
 

@@ -1,0 +1,100 @@
+"""Satellite test: measured 1.5D traffic equals the Eq. 8 terms exactly.
+
+The audit compares the *simulated* per-step communication (data bytes
+summed over all ranks, and send counts) of ``mlp_train_program`` against
+the closed-form bandwidth/latency terms of
+:func:`repro.core.costs.integrated_mb_cost` — zero relative error, not
+approximately.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry.audit import (
+    PHASE_CATEGORY,
+    audit_events,
+    audit_mlp_15d,
+)
+
+DIMS = (32, 24, 16, 10)
+BATCH = 16
+
+# Grid shapes covering general, pure-model, pure-batch and a
+# non-power-of-two, non-divisible split (24/3, 16/3 are uneven).
+GRIDS = [(4, 2), (2, 4), (4, 1), (1, 4), (3, 2)]
+
+
+@pytest.mark.parametrize("pr,pc", GRIDS)
+class TestExactness:
+    def test_bandwidth_terms_exact(self, pr, pc):
+        report, _ = audit_mlp_15d(DIMS, pr=pr, pc=pc, batch=BATCH, steps=2)
+        assert report.max_bandwidth_rel_error == 0.0
+        assert report.exact
+        for term in report.terms:
+            assert term.measured_bytes == term.predicted_bytes
+
+    def test_latency_message_counts_exact(self, pr, pc):
+        report, _ = audit_mlp_15d(DIMS, pr=pr, pc=pc, batch=BATCH, steps=2)
+        assert report.max_latency_rel_error == 0.0
+        for term in report.terms:
+            assert term.measured_messages == term.predicted_messages
+
+
+class TestStructure:
+    def test_terms_cover_every_eq8_sum(self):
+        report, _ = audit_mlp_15d(DIMS, pr=2, pc=2, batch=BATCH, steps=1)
+        cats = {t.category for t in report.terms}
+        assert cats == set(PHASE_CATEGORY.values())
+        layers = {t.layer_index for t in report.terms if t.category.endswith("dw")}
+        assert layers == {1, 2, 3}
+        # No dx all-reduce for the first layer (no input gradient needed).
+        dx_layers = {
+            t.layer_index for t in report.terms if t.category.endswith("dx")
+        }
+        assert 1 not in dx_layers
+
+    def test_degenerate_grid_dims_send_nothing(self):
+        # pr=1: no model-parallel traffic; every fwd/bwd_dx term is 0 = 0.
+        report, _ = audit_mlp_15d(DIMS, pr=1, pc=4, batch=BATCH, steps=1)
+        for t in report.terms:
+            if t.category.startswith("model."):
+                assert t.predicted_bytes == t.measured_bytes == 0
+
+    def test_message_counts_match_round_formulas(self):
+        pr, pc = 4, 2
+        report, _ = audit_mlp_15d(DIMS, pr=pr, pc=pc, batch=BATCH, steps=1)
+        p = pr * pc
+        for t in report.terms:
+            if t.category == "model.allgather_fwd":
+                assert t.measured_messages == p * math.ceil(math.log2(pr))
+            elif t.category == "model.allreduce_dx":
+                assert t.measured_messages == p * 2 * (pr - 1)
+            elif t.category == "batch.allreduce_dw":
+                assert t.measured_messages == p * 2 * (pc - 1)
+
+    def test_audit_report_table_renders(self):
+        report, _ = audit_mlp_15d(DIMS, pr=2, pc=2, batch=BATCH, steps=1)
+        text = report.to_table().to_ascii()
+        assert "model.allgather_fwd" in text
+        assert "bytes_rel_err" in text
+
+    def test_events_returned_for_export(self):
+        _, events = audit_mlp_15d(DIMS, pr=2, pc=2, batch=BATCH, steps=1)
+        assert any(e.op == "span" for e in events)
+        assert any(e.op == "send" and e.data_bytes > 0 for e in events)
+
+
+class TestAuditEvents:
+    def test_wrong_dims_detected(self):
+        # Audit a real trace against the wrong network: errors must show.
+        _, events = audit_mlp_15d(DIMS, pr=2, pc=2, batch=BATCH, steps=1)
+        wrong = (32, 48, 32, 10)
+        report = audit_events(events, wrong, pr=2, pc=2, batch=BATCH, steps=1)
+        assert report.max_bandwidth_rel_error > 0.0
+        assert not report.exact
+
+    def test_rejects_bad_steps(self):
+        with pytest.raises(ConfigurationError):
+            audit_events((), DIMS, pr=2, pc=2, batch=BATCH, steps=0)

@@ -1,0 +1,103 @@
+"""Tests for the Chrome trace_event exporter (satellite: schema validation)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simmpi.engine import SimEngine
+from repro.telemetry.chrome import (
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.telemetry.spans import span
+
+
+def _traced_events(p=2):
+    def prog(comm):
+        with span("work", comm=comm, step=0):
+            return comm.allreduce(np.ones(8), algorithm="ring")
+
+    eng = SimEngine(p, trace=True)
+    eng.run(prog)
+    return eng.tracer.events
+
+
+@pytest.fixture(scope="module")
+def events():
+    return _traced_events()
+
+
+class TestSchema:
+    def test_validates_and_counts(self, events):
+        obj = chrome_trace(events)
+        n = validate_chrome_trace(obj)
+        assert n == len(obj["traceEvents"]) > 0
+
+    def test_required_keys_present(self, events):
+        for ev in chrome_trace(events)["traceEvents"]:
+            assert {"name", "ph", "pid", "tid"} <= set(ev)
+            if ev["ph"] == "X":
+                assert ev["dur"] >= 0.0
+                assert ev["ts"] >= 0.0
+
+    def test_one_track_per_rank(self, events):
+        obj = chrome_trace(events)
+        for ev in obj["traceEvents"]:
+            assert ev["pid"] == ev["tid"]
+        # Metadata names both ranks' tracks.
+        meta = [e for e in obj["traceEvents"] if e["ph"] == "M"]
+        named = {e["pid"] for e in meta if e["name"] == "process_name"}
+        assert named == {0, 1}
+
+    def test_timestamps_consistent_with_virtual_clock(self, events):
+        obj = chrome_trace(events)
+        spans = [e for e in obj["traceEvents"] if e.get("cat") == "span"]
+        assert spans
+        t_max_us = max(e.t_end for e in events) * 1e6
+        for ev in spans:
+            assert 0.0 <= ev["ts"] <= ev["ts"] + ev["dur"] <= t_max_us + 1e-9
+
+    def test_json_roundtrip(self, events):
+        obj = chrome_trace(events)
+        clone = json.loads(json.dumps(obj))
+        assert validate_chrome_trace(clone) == len(obj["traceEvents"])
+        assert clone["displayTimeUnit"] == "ms"
+
+
+class TestValidatorRejects:
+    def test_not_a_dict(self):
+        with pytest.raises(ConfigurationError):
+            validate_chrome_trace([])
+
+    def test_missing_keys(self):
+        with pytest.raises(ConfigurationError):
+            validate_chrome_trace({"traceEvents": [{"ph": "X"}]})
+
+    def test_bad_phase(self):
+        ev = {"name": "x", "ph": "Z", "pid": 0, "tid": 0, "ts": 0.0}
+        with pytest.raises(ConfigurationError):
+            validate_chrome_trace({"traceEvents": [ev]})
+
+    def test_pid_tid_disagree(self):
+        ev = {"name": "x", "ph": "i", "pid": 0, "tid": 1, "ts": 0.0, "s": "t"}
+        with pytest.raises(ConfigurationError):
+            validate_chrome_trace({"traceEvents": [ev]})
+
+    def test_negative_ts(self):
+        ev = {"name": "x", "ph": "X", "pid": 0, "tid": 0, "ts": -1.0, "dur": 0.0}
+        with pytest.raises(ConfigurationError):
+            validate_chrome_trace({"traceEvents": [ev]})
+
+
+class TestWrite:
+    def test_write_creates_dirs_and_loadable_file(self, tmp_path, events):
+        path = tmp_path / "nested" / "trace.json"
+        obj = write_chrome_trace(events, str(path), title="t")
+        assert path.exists()
+        with open(path, "r", encoding="utf-8") as fh:
+            loaded = json.load(fh)
+        assert loaded == json.loads(json.dumps(obj))
+        assert validate_chrome_trace(loaded) > 0

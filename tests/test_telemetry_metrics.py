@@ -1,0 +1,143 @@
+"""Tests for the metrics registry and its tracer-sink wiring."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simmpi.engine import SimEngine
+from repro.simmpi.tracing import TraceEvent, Tracer
+from repro.telemetry.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.telemetry.spans import span
+
+
+class TestCounter:
+    def test_inc_and_value_per_labels(self):
+        reg = MetricsRegistry()
+        c = reg.counter("bytes")
+        c.inc(10, rank=0)
+        c.inc(5, rank=0)
+        c.inc(7, rank=1)
+        assert c.value(rank=0) == 15
+        assert c.value(rank=1) == 7
+        assert c.total() == 22
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_same_name_returns_same_metric(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c") is reg.counter("c")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("x")
+
+
+class TestGauge:
+    def test_set_and_set_max(self):
+        g = MetricsRegistry().gauge("clock")
+        g.set(1.0, rank=0)
+        g.set_max(0.5, rank=0)
+        assert g.value(rank=0) == 1.0
+        g.set_max(2.0, rank=0)
+        assert g.value(rank=0) == 2.0
+        assert g.value(rank=9) is None
+
+
+class TestHistogram:
+    def test_observe_tracks_stats_and_buckets(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        stats = h.stats()
+        assert stats["count"] == 3
+        assert stats["sum"] == 55.5
+        assert stats["min"] == 0.5 and stats["max"] == 50.0
+        assert stats["buckets"] == [1, 1, 1]  # <=1, <=10, overflow
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().histogram("h", buckets=())
+
+
+class TestDisabled:
+    def test_null_registry_is_noop(self):
+        c = NULL_REGISTRY.counter("n")
+        c.inc(5)
+        assert c.value() == 0
+        NULL_REGISTRY.observe_event(
+            TraceEvent(0, "send", 1, 64, 0.0, 0.0)
+        )
+        assert NULL_REGISTRY.counter("comm.messages").total() == 0
+
+
+def _chatter(comm):
+    with span("work", comm=comm):
+        return comm.allreduce(np.ones(8), algorithm="ring")
+
+
+class TestEngineSink:
+    def test_engine_feeds_registry(self):
+        reg = MetricsRegistry()
+        eng = SimEngine(2, metrics=reg)
+        eng.run(_chatter)
+        msgs = reg.counter("comm.messages")
+        # Ring allreduce on 2 ranks: 2(p-1) = 2 sends per rank.
+        assert msgs.value(rank=0, op="send") == 2
+        assert msgs.value(rank=1, op="send") == 2
+        assert reg.counter("comm.data_bytes").value(rank=0, op="send") > 0
+        assert reg.counter("span.count").value(rank=0, span="work") == 1
+        assert reg.counter("coll.calls").total() == 2  # one marker per rank
+        assert reg.gauge("clock.seconds").value(rank=0) > 0
+
+    def test_metrics_without_trace_stores_no_events(self):
+        reg = MetricsRegistry()
+        eng = SimEngine(2, metrics=reg)
+        eng.run(_chatter)
+        assert eng.tracer.events == ()  # sink-only: constant memory
+        assert reg.counter("comm.messages").total() > 0
+
+    def test_to_table_flattens_series(self):
+        reg = MetricsRegistry()
+        eng = SimEngine(2, metrics=reg)
+        eng.run(_chatter)
+        table = reg.to_table()
+        assert len(table) > 0
+        metrics = set(table.column("metric"))
+        assert "comm.messages" in metrics and "clock.seconds" in metrics
+
+
+class TestTracerScalability:
+    def test_max_events_ring_buffer_counts_drops(self):
+        tr = Tracer(enabled=True, max_events=2)
+        for i in range(5):
+            tr.record(TraceEvent(0, "send", 1, i, 0.0, 0.0))
+        assert len(tr.events) == 2
+        assert tr.dropped == 3
+        assert [e.nbytes for e in tr.events] == [3, 4]  # oldest dropped
+        tr.clear()
+        assert tr.events == () and tr.dropped == 0
+
+    def test_sink_sees_dropped_events(self):
+        seen = []
+        tr = Tracer(enabled=True, max_events=1, sink=seen.append)
+        for i in range(4):
+            tr.record(TraceEvent(0, "send", 1, i, 0.0, 0.0))
+        assert len(seen) == 4  # the sink streams everything
+        assert len(tr.events) == 1
+
+    def test_store_false_keeps_nothing(self):
+        seen = []
+        tr = Tracer(enabled=True, sink=seen.append, store=False)
+        tr.record(TraceEvent(0, "send", 1, 8, 0.0, 0.0))
+        assert tr.events == ()
+        assert len(seen) == 1
+
+    def test_engine_cap_passthrough(self):
+        eng = SimEngine(2, trace=True, max_trace_events=4)
+        eng.run(_chatter)
+        assert len(eng.tracer.events) == 4
+        assert eng.tracer.dropped > 0
