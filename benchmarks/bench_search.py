@@ -1,0 +1,52 @@
+"""Benchmark of the memoized strategy-search engine vs the serial path.
+
+Measures the same Fig. 7 strong-scaling sweep as ``repro bench``: the
+engine must stay bit-identical to :mod:`repro.core.sweep` while beating
+it by at least the committed-baseline margin (see
+``benchmarks/BENCH_search.json`` and docs/SEARCH.md for the gating
+workflow).
+"""
+
+import json
+import os
+
+from repro.search.bench import (
+    DEFAULT_BATCH,
+    DEFAULT_PROCESSES,
+    MIN_SPEEDUP,
+    run_search_bench,
+)
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_search.json")
+
+
+def bench_search_engine(benchmark, setting):
+    from repro.search.engine import SearchEngine
+    from repro.search.sweeps import strong_scaling_curve
+
+    def sweep():
+        return strong_scaling_curve(
+            setting.network,
+            DEFAULT_BATCH,
+            DEFAULT_PROCESSES,
+            setting.machine,
+            setting.compute,
+            dataset_size=setting.dataset.train_images,
+            engine=SearchEngine(),  # cold cache, like `repro bench`
+        )
+
+    points, _table = benchmark(sweep)
+    assert len(points) == len(DEFAULT_PROCESSES)
+
+
+def bench_search_speedup(benchmark, setting):
+    record = benchmark.pedantic(
+        run_search_bench, kwargs={"setting": setting, "repeat": 3}, rounds=1
+    )
+    print()
+    print(record.to_json())
+    assert record.identical, "engine diverged from the serial results"
+    assert record.speedup >= MIN_SPEEDUP
+    with open(BASELINE_PATH, "r", encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    assert record.config_key[0] == baseline["config"]["network"]

@@ -8,6 +8,7 @@ Examples::
     repro summary                   # network + machine summary
     repro best --batch 2048 --processes 512        # optimizer front-end
     repro best -B 512 -P 4096 --network vgg16 --max-memory-mb 256
+    repro bench --repeat 3 --out BENCH_search.json   # engine perf gate
     repro trace --experiment fig7 --pr 4 --pc 2 --out trace-out --assert-exact
 """
 
@@ -75,6 +76,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--plan",
         action="store_true",
         help="print the ordered per-iteration communication schedule",
+    )
+    best_p.add_argument(
+        "--serial",
+        action="store_true",
+        help="use the serial optimizer instead of the memoized search engine",
+    )
+    best_p.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print search-engine cache hit/miss statistics",
+    )
+
+    bench_p = sub.add_parser(
+        "bench",
+        help=(
+            "benchmark the memoized search engine against the serial "
+            "optimizer and gate on regressions vs the committed baseline"
+        ),
+    )
+    bench_p.add_argument(
+        "--points",
+        default=None,
+        help="comma-separated process counts (default: 8,64,256,512 — Fig. 7)",
+    )
+    bench_p.add_argument(
+        "-B", "--batch", type=int, default=None,
+        help="global batch size (default: 2048)",
+    )
+    bench_p.add_argument(
+        "--jobs", type=int, default=None,
+        help="sweep worker processes (0 = one per CPU; default: in-process)",
+    )
+    bench_p.add_argument(
+        "--repeat", type=int, default=3,
+        help="timing repetitions, best-of is reported (default: 3)",
+    )
+    bench_p.add_argument(
+        "--baseline", default="benchmarks/BENCH_search.json",
+        help="committed baseline record to gate against",
+    )
+    bench_p.add_argument(
+        "--out", default=None,
+        help="write the measured BENCH_search.json record to this path",
+    )
+    bench_p.add_argument(
+        "--tolerance", type=float, default=None,
+        help="allowed relative speedup regression vs baseline (default: 0.2)",
+    )
+    bench_p.add_argument(
+        "--update-baseline", action="store_true",
+        help="overwrite the baseline with this run's record (skips the gate)",
+    )
+    bench_p.add_argument(
+        "--no-compare", action="store_true",
+        help="measure and report only; skip the baseline gate",
     )
 
     faults_p = sub.add_parser(
@@ -147,6 +203,7 @@ def _run_best(args) -> int:
     from repro.core.memory import memory_footprint
     from repro.core.optimizer import best_strategy
     from repro.report.tables import format_seconds
+    from repro.search import default_engine
 
     setting = default_setting()
     network = _build_network(args.network)
@@ -156,7 +213,9 @@ def _run_best(args) -> int:
         if args.max_memory_mb is not None
         else None
     )
-    choice = best_strategy(
+    engine = None if args.serial else default_engine()
+    search = best_strategy if engine is None else engine.best_strategy
+    choice = search(
         network,
         args.batch,
         args.processes,
@@ -195,6 +254,92 @@ def _run_best(args) -> int:
             "  blocking (critical-path) communication: "
             f"{format_seconds(plan.blocking_time)} of {format_seconds(plan.total_time)}"
         )
+    if args.cache_stats:
+        if engine is None:
+            print("cache   : n/a (serial optimizer, no cache)")
+        else:
+            stats = engine.cache_stats()
+            print(
+                f"cache   : {stats.hits} hits / {stats.misses} misses "
+                f"({stats.hit_rate:.1%} hit rate, {stats.entries} entries)"
+            )
+    return 0
+
+
+def _run_bench(args) -> int:
+    from repro.errors import ConfigurationError
+    from repro.search.bench import (
+        DEFAULT_BATCH,
+        DEFAULT_PROCESSES,
+        DEFAULT_TOLERANCE,
+        BenchRecord,
+        compare_to_baseline,
+        run_search_bench,
+    )
+
+    if args.points is not None:
+        try:
+            processes = tuple(
+                int(part) for part in args.points.split(",") if part.strip()
+            )
+        except ValueError:
+            print(f"bad --points {args.points!r}: expected comma-separated "
+                  "integers", file=sys.stderr)
+            return 2
+    else:
+        processes = DEFAULT_PROCESSES
+    batch = args.batch if args.batch is not None else DEFAULT_BATCH
+    tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+
+    try:
+        record = run_search_bench(
+            processes=processes, batch=batch, repeat=args.repeat, jobs=args.jobs
+        )
+    except ConfigurationError as exc:
+        print(f"bench configuration error: {exc}", file=sys.stderr)
+        return 2
+
+    print(f"config  : {record.network}, B={record.batch:g}, "
+          f"P={list(record.processes)} (best of {record.repeat})")
+    print(f"serial  : {record.serial_s * 1e3:8.1f} ms")
+    print(f"engine  : {record.engine_s * 1e3:8.1f} ms")
+    print(f"speedup : {record.speedup:.2f}x "
+          f"({'bit-identical' if record.identical else 'RESULTS DIFFER'})")
+    print(f"cache   : {record.cache_hits} hits / {record.cache_misses} misses, "
+          f"{record.cache_entries} entries")
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(record.to_json())
+        print(f"record  : wrote {args.out}")
+    if args.update_baseline:
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            fh.write(record.to_json())
+        print(f"baseline: updated {args.baseline}")
+        return 0
+    if args.no_compare:
+        return 0
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = BenchRecord.from_json(fh.read())
+    except OSError as exc:
+        print(f"cannot read baseline {args.baseline!r}: {exc}", file=sys.stderr)
+        return 2
+    except ConfigurationError as exc:
+        print(f"bad baseline {args.baseline!r}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        failures = compare_to_baseline(record, baseline, tolerance=tolerance)
+    except ConfigurationError as exc:
+        print(f"bench gate error: {exc}", file=sys.stderr)
+        return 2
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print(f"gate    : PASS (baseline {baseline.speedup:.2f}x, "
+          f"tolerance {tolerance:.0%})")
     return 0
 
 
@@ -380,6 +525,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "best":
         return _run_best(args)
+    if args.command == "bench":
+        return _run_bench(args)
     if args.command == "faults":
         return _run_faults(args)
     if args.command == "trace":

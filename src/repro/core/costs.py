@@ -49,6 +49,7 @@ from repro.nn.network import NetworkSpec, WeightedLayer
 __all__ = [
     "CostTerm",
     "CostBreakdown",
+    "layer_cost_terms",
     "model_parallel_cost",
     "batch_parallel_cost",
     "domain_parallel_cost",
@@ -239,6 +240,33 @@ def _batch_layer_terms(
     ]
 
 
+def layer_cost_terms(
+    layer: WeightedLayer,
+    placement: Placement,
+    batch: float,
+    grid: ProcessGrid,
+    machine: MachineParams,
+    *,
+    first: bool | None = None,
+) -> Tuple[CostTerm, ...]:
+    """The Eq. 9 contributions of a single layer under ``placement``.
+
+    This is the per-layer cost kernel: :func:`integrated_cost` is just
+    the concatenation of these tuples over the weighted layers, which is
+    what makes the cost separable per layer — the property the
+    memoizing search engine (:mod:`repro.search`) relies on.  ``first``
+    marks the first weighted layer (no dX all-reduce, Eq. 8's sum
+    starting at ``i = 2``); it defaults to ``layer.index == 1``.
+    """
+    if first is None:
+        first = layer.index == 1
+    if placement is Placement.MODEL:
+        return tuple(_model_layer_terms(layer, first, batch, grid, machine))
+    if placement is Placement.DOMAIN:
+        return tuple(_domain_layer_terms(layer, batch, grid, machine))
+    return tuple(_batch_layer_terms(layer, batch, grid, machine))
+
+
 def integrated_cost(
     network: NetworkSpec,
     batch: float,
@@ -269,13 +297,7 @@ def integrated_cost(
         )
     terms: List[CostTerm] = []
     for layer, placement in zip(network.weighted_layers, strategy.placements):
-        first = layer.index == 1
-        if placement is Placement.MODEL:
-            terms.extend(_model_layer_terms(layer, first, batch, strategy.grid, machine))
-        elif placement is Placement.DOMAIN:
-            terms.extend(_domain_layer_terms(layer, batch, strategy.grid, machine))
-        else:
-            terms.extend(_batch_layer_terms(layer, batch, strategy.grid, machine))
+        terms.extend(layer_cost_terms(layer, placement, batch, strategy.grid, machine))
     return CostBreakdown(tuple(terms))
 
 

@@ -35,11 +35,43 @@ __all__ = [
     "GridChoice",
     "enumerate_grids",
     "evaluate_grids",
+    "family_specs",
     "best_strategy",
     "optimal_placements",
 ]
 
 StrategyFamily = Callable[[NetworkSpec, ProcessGrid], Strategy]
+
+#: Spec name of the per-layer-optimal family in :func:`family_specs`.
+PER_LAYER_FAMILY = "per_layer_optimal"
+
+
+def family_specs(
+    network: NetworkSpec,
+    *,
+    allow_domain: bool = True,
+    conv_pure_batch: bool = False,
+    per_layer: bool = True,
+) -> Tuple[Tuple[str, Optional[StrategyFamily]], ...]:
+    """The ordered candidate families of :func:`best_strategy`.
+
+    Returns ``(name, family)`` pairs; the per-layer optimum carries
+    ``family=None`` (it closes over search state, see
+    :func:`optimal_placements`).  Shared with the memoized engine in
+    :mod:`repro.search` so the two searches can never disagree on
+    candidate order or tie-breaking.
+    """
+    specs: List[Tuple[str, Optional[StrategyFamily]]] = []
+    if conv_pure_batch:
+        specs.append(("conv_batch_fc_model", Strategy.conv_batch_fc_model))
+    else:
+        specs.append(("same_grid_model", Strategy.same_grid_model))
+        specs.append(("conv_batch_fc_model", Strategy.conv_batch_fc_model))
+    if allow_domain and any(w.is_conv for w in network.weighted_layers):
+        specs.append(("conv_domain_fc_model", Strategy.conv_domain_fc_model))
+    if per_layer and not conv_pure_batch:
+        specs.append((PER_LAYER_FAMILY, None))
+    return tuple(specs)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -214,19 +246,18 @@ def best_strategy(
     consumption optimality might be a legitimate concern depending on
     the platform and the DNN model size".
     """
-    families: List[StrategyFamily] = [Strategy.same_grid_model]
-    if conv_pure_batch:
-        families = [Strategy.conv_batch_fc_model]
-    else:
-        families.append(Strategy.conv_batch_fc_model)
-    if allow_domain and any(w.is_conv for w in network.weighted_layers):
-        families.append(Strategy.conv_domain_fc_model)
-    if per_layer and not conv_pure_batch:
-        families.append(
-            lambda net, grid: optimal_placements(
-                net, batch, grid, machine, allow_domain=allow_domain
-            )
+    def per_layer_family(net: NetworkSpec, grid: ProcessGrid) -> Strategy:
+        return optimal_placements(net, batch, grid, machine, allow_domain=allow_domain)
+
+    families: List[StrategyFamily] = [
+        family if family is not None else per_layer_family
+        for _, family in family_specs(
+            network,
+            allow_domain=allow_domain,
+            conv_pure_batch=conv_pure_batch,
+            per_layer=per_layer,
         )
+    ]
 
     def memory_ok(pt: SimulationPoint) -> bool:
         if max_memory_elements is None:

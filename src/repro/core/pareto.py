@@ -27,7 +27,13 @@ from repro.errors import StrategyError
 from repro.machine.params import MachineParams
 from repro.nn.network import NetworkSpec
 
-__all__ = ["ParetoPoint", "comm_memory_frontier"]
+__all__ = [
+    "ParetoPoint",
+    "grid_candidates",
+    "pareto_filter",
+    "frontier_table",
+    "comm_memory_frontier",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -51,56 +57,73 @@ class ParetoPoint:
         return le and lt
 
 
-def comm_memory_frontier(
+def grid_candidates(
     network: NetworkSpec,
     batch: float,
-    p: int,
+    grid,
     machine: MachineParams,
     *,
     allow_domain: bool = True,
-) -> Tuple[List[ParetoPoint], ResultTable]:
-    """Non-dominated (comm, memory) strategies over all grids of ``P``.
+    search=None,
+) -> List[ParetoPoint]:
+    """Candidate (comm, memory) points for one grid: the three fixed
+    families plus the per-layer optimum, deduplicated.
 
-    Candidates: for every feasible grid, the three fixed families plus
-    the per-layer optimum.  Returns the frontier sorted by memory
-    (ascending) — so it runs from "2D-like, memory-lean, comm-heavy" to
-    "replicated, memory-hungry, comm-lean", the spectrum Section 4
-    describes — plus a printable table flagging frontier membership.
+    ``search`` is any object exposing ``optimal_placements`` /
+    ``integrated_cost`` with the serial signatures (e.g. a
+    :class:`repro.search.SearchEngine`); ``None`` uses the serial
+    module functions.  Independent per grid, so callers may evaluate
+    grids in any order (or in parallel) and concatenate.
     """
+    placements_fn = optimal_placements if search is None else search.optimal_placements
+    cost_fn = integrated_cost if search is None else search.integrated_cost
+    strategies = [Strategy.same_grid_model(network, grid)]
+    try:
+        strategies.append(placements_fn(
+            network, batch, grid, machine, allow_domain=allow_domain
+        ))
+    except StrategyError:
+        pass
+    for family in (Strategy.conv_batch_fc_model, Strategy.conv_domain_fc_model):
+        try:
+            strategies.append(family(network, grid))
+        except StrategyError:
+            continue
     candidates: List[ParetoPoint] = []
     seen = set()
-    for grid in enumerate_grids(p, batch=batch):
-        strategies = [Strategy.same_grid_model(network, grid)]
+    for strategy in strategies:
+        key = (strategy.grid, strategy.placements)
+        if key in seen:
+            continue
+        seen.add(key)
         try:
-            strategies.append(optimal_placements(
-                network, batch, grid, machine, allow_domain=allow_domain
-            ))
+            comm = cost_fn(network, batch, strategy, machine).total
         except StrategyError:
-            pass
-        for family in (Strategy.conv_batch_fc_model, Strategy.conv_domain_fc_model):
-            try:
-                strategies.append(family(network, grid))
-            except StrategyError:
-                continue
-        for strategy in strategies:
-            key = (strategy.grid, strategy.placements)
-            if key in seen:
-                continue
-            seen.add(key)
-            try:
-                comm = integrated_cost(network, batch, strategy, machine).total
-            except StrategyError:
-                continue
-            memory = memory_footprint(network, batch, strategy).total
-            candidates.append(ParetoPoint(strategy, comm, memory))
+            continue
+        memory = memory_footprint(network, batch, strategy).total
+        candidates.append(ParetoPoint(strategy, comm, memory))
+    return candidates
 
+
+def pareto_filter(candidates: List[ParetoPoint]) -> List[ParetoPoint]:
+    """The non-dominated subset, sorted by (memory, comm) ascending."""
     frontier = [
         pt
         for pt in candidates
         if not any(other.dominates(pt) for other in candidates)
     ]
     frontier.sort(key=lambda pt: (pt.memory_elements, pt.comm_time))
+    return frontier
 
+
+def frontier_table(
+    network: NetworkSpec,
+    batch: float,
+    p: int,
+    candidates: List[ParetoPoint],
+    frontier: List[ParetoPoint],
+) -> ResultTable:
+    """The printable candidate table flagging frontier membership."""
     table = ResultTable(
         f"Comm/memory Pareto frontier, P={p}, B={batch} ({network.name})"
     )
@@ -112,4 +135,31 @@ def comm_memory_frontier(
             memory_Melements=round(pt.memory_elements / 1e6, 2),
             on_frontier=(pt.strategy.grid, pt.strategy.placements) in frontier_keys,
         )
-    return frontier, table
+    return table
+
+
+def comm_memory_frontier(
+    network: NetworkSpec,
+    batch: float,
+    p: int,
+    machine: MachineParams,
+    *,
+    allow_domain: bool = True,
+    search=None,
+) -> Tuple[List[ParetoPoint], ResultTable]:
+    """Non-dominated (comm, memory) strategies over all grids of ``P``.
+
+    Candidates: for every feasible grid, the three fixed families plus
+    the per-layer optimum.  Returns the frontier sorted by memory
+    (ascending) — so it runs from "2D-like, memory-lean, comm-heavy" to
+    "replicated, memory-hungry, comm-lean", the spectrum Section 4
+    describes — plus a printable table flagging frontier membership.
+    """
+    candidates: List[ParetoPoint] = []
+    for grid in enumerate_grids(p, batch=batch):
+        candidates.extend(grid_candidates(
+            network, batch, grid, machine,
+            allow_domain=allow_domain, search=search,
+        ))
+    frontier = pareto_filter(candidates)
+    return frontier, frontier_table(network, batch, p, candidates, frontier)

@@ -95,7 +95,11 @@ def points_to_rows(
             "total_s": pt.total_epoch,
         }
         if baseline is not None:
-            row["speedup_total"] = baseline.total_epoch / pt.total_epoch
+            # Degenerate zero-time points (e.g. free compute models in
+            # tests) have no meaningful ratio — report None, not a crash.
+            row["speedup_total"] = (
+                baseline.total_epoch / pt.total_epoch if pt.total_epoch > 0 else None
+            )
             row["speedup_comm"] = (
                 baseline.comm_epoch / pt.comm_epoch if pt.comm_epoch > 0 else float("inf")
             )

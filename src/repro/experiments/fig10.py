@@ -12,15 +12,14 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
-from repro.core.costs import integrated_cost
-from repro.core.optimizer import evaluate_grids
 from repro.core.overlap import overlapped_time_from_breakdown
-from repro.core.simulate import SimulationPoint, simulate_epoch
+from repro.core.simulate import SimulationPoint
 from repro.core.strategy import ProcessGrid, Strategy
 from repro.core.results import ResultTable
 from repro.errors import StrategyError
 from repro.experiments.common import ExperimentResult, Setting, default_setting
 from repro.report.charts import stacked_bar_chart
+from repro.search import default_engine
 
 __all__ = ["run", "DEFAULT_PROCESSES", "DEFAULT_BATCH"]
 
@@ -29,7 +28,7 @@ DEFAULT_PROCESSES: Tuple[int, ...] = (512, 1024, 2048, 4096)
 
 
 def _point(setting: Setting, batch: int, strategy: Strategy) -> SimulationPoint:
-    return simulate_epoch(
+    return default_engine().simulate_epoch(
         setting.network,
         batch,
         strategy,
@@ -70,7 +69,7 @@ def run(
             )
         # (b) best same-grid model+batch (Pc capped at B).
         try:
-            mb_points = evaluate_grids(
+            mb_points = default_engine().evaluate_grids(
                 net, batch, p, setting.machine, setting.compute,
                 family=Strategy.same_grid_model,
                 dataset_size=setting.dataset.train_images,
@@ -90,7 +89,7 @@ def run(
             # Category-aware overlap (Sec. 2.4's blocking-vs-non-blocking
             # argument): the forward all-gather stays on the critical
             # path; halos and backward all-reduces hide under backprop.
-            bd = integrated_cost(
+            bd = default_engine().integrated_cost(
                 setting.network, batch, pt.strategy, setting.machine
             )
             overlapped = (

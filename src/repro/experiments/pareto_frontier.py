@@ -10,7 +10,7 @@ what each increment of replication buys in communication.
 
 from __future__ import annotations
 
-from repro.core.pareto import comm_memory_frontier
+from repro.search.sweeps import comm_memory_frontier
 from repro.experiments.common import ExperimentResult, Setting, default_setting
 
 __all__ = ["run"]

@@ -16,8 +16,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.core.optimizer import optimal_placements
-from repro.core.costs import integrated_cost
+from repro.search import default_engine
 from repro.core.results import ResultTable
 from repro.core.strategy import ProcessGrid
 from repro.experiments.common import ExperimentResult, Setting, default_setting
@@ -47,8 +46,9 @@ def run(
     for batch in batches:
         if grid.pc > batch:
             continue
-        strategy = optimal_placements(net, batch, grid, machine)
-        cost = integrated_cost(net, batch, strategy, machine)
+        engine = default_engine()
+        strategy = engine.optimal_placements(net, batch, grid, machine)
+        cost = engine.integrated_cost(net, batch, strategy, machine)
         row = {"B": batch, "comm_per_iter_s": cost.total}
         for w, pl in zip(net.weighted_layers, strategy.placements):
             row[w.name] = pl.value

@@ -12,12 +12,12 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
-from repro.core.optimizer import evaluate_grids
 from repro.core.results import ResultTable
 from repro.core.simulate import SimulationPoint
 from repro.core.strategy import Strategy
 from repro.experiments.common import ExperimentResult, Setting, points_to_rows
 from repro.report.charts import stacked_bar_chart
+from repro.search import default_engine
 
 __all__ = ["scaling_subfigure", "build_scaling_result"]
 
@@ -35,7 +35,7 @@ def scaling_subfigure(
     Returns ``(table, chart, headline)`` where ``headline`` holds the
     best grid and its total/communication speedups over pure batch.
     """
-    points = evaluate_grids(
+    points = default_engine().evaluate_grids(
         setting.network,
         batch,
         p,

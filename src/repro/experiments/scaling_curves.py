@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Sequence, Tuple
 
-from repro.core.sweep import strong_scaling_curve, weak_scaling_curve
+from repro.search.sweeps import strong_scaling_curve, weak_scaling_curve
 from repro.experiments.common import ExperimentResult, Setting, default_setting
 from repro.report.charts import bar_chart
 

@@ -16,12 +16,10 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.core.optimizer import best_strategy
 from repro.core.results import ResultTable
-from repro.core.simulate import simulate_epoch
-from repro.core.strategy import ProcessGrid, Strategy
 from repro.experiments.common import ExperimentResult, Setting, default_setting
 from repro.machine.params import MachineParams
+from repro.search.sweeps import machine_sensitivity
 
 __all__ = ["run"]
 
@@ -48,32 +46,34 @@ def run(
         ),
     )
     table = ResultTable(f"P = {p}, B = {batch}: best strategy per (alpha, bandwidth)")
+    cells = [
+        (bw, lat, MachineParams(
+            alpha=lat * 1e-6,
+            beta_per_byte=1.0 / (bw * 1e9),
+            name=f"{lat:g}us/{bw:g}GBps",
+        ))
+        for bw in bandwidths_gbps
+        for lat in latencies_us
+    ]
+    points = machine_sensitivity(
+        net,
+        compute,
+        [machine for _, _, machine in cells],
+        p=p,
+        batch=batch,
+        dataset_size=setting.dataset.train_images,
+    )
     speedup_by_bw = {}
-    for bw in bandwidths_gbps:
-        for lat in latencies_us:
-            machine = MachineParams(
-                alpha=lat * 1e-6,
-                beta_per_byte=1.0 / (bw * 1e9),
-                name=f"{lat:g}us/{bw:g}GBps",
-            )
-            choice = best_strategy(
-                net, batch, p, machine, compute,
-                dataset_size=setting.dataset.train_images,
-            )
-            pure = simulate_epoch(
-                net, batch, Strategy.same_grid_model(net, ProcessGrid(1, p)),
-                machine, compute, dataset_size=setting.dataset.train_images,
-            )
-            speedup = pure.total_epoch / choice.total_epoch
-            speedup_by_bw.setdefault(bw, []).append(speedup)
-            table.add_row(
-                alpha_us=lat,
-                bandwidth_GBps=bw,
-                best_strategy=choice.strategy.describe(),
-                epoch_s=choice.total_epoch,
-                pure_batch_s=pure.total_epoch,
-                speedup=round(speedup, 2),
-            )
+    for (bw, lat, _machine), point in zip(cells, points):
+        speedup_by_bw.setdefault(bw, []).append(point.speedup)
+        table.add_row(
+            alpha_us=lat,
+            bandwidth_GBps=bw,
+            best_strategy=point.best_label,
+            epoch_s=point.epoch_s,
+            pure_batch_s=point.pure_batch_s,
+            speedup=round(point.speedup, 2) if point.speedup is not None else None,
+        )
     result.tables.append(table)
     slow = min(bandwidths_gbps)
     fast = max(bandwidths_gbps)

@@ -1,0 +1,417 @@
+"""Vectorized grid cost tables.
+
+A strategy family over one ``(P, B)`` point evaluates the *same* layer
+formulas for every grid factorization of ``P``; the serial path does it
+one grid at a time through Python objects.  This module evaluates the
+whole enumeration at once as numpy columns — one array entry per grid —
+and is **bit-identical** to the scalar path by construction:
+
+* every elementwise formula replicates the exact operation order of
+  :mod:`repro.core.costs` / :mod:`repro.collectives.cost` (IEEE-754
+  double operations are deterministic, so ``beta * n * (p - 1) / p``
+  evaluated per-lane equals the scalar expression);
+* per-grid totals accumulate term columns in the same (layer, category)
+  visit order as ``CostBreakdown.total``'s left-to-right sum, adding an
+  exact ``0.0`` where a grid lacks the term;
+* grid-*independent* terms (weight all-reduces over all ``P``) are
+  computed by calling the original scalar cost functions and broadcast.
+
+The test suite asserts exact (``==``) agreement against the serial
+breakdowns; see ``tests/test_search_engine.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.collectives.cost import allreduce_ring, _log2ceil
+from repro.core.overlap import BACKPROP_COMM_FRACTION, BACKPROP_COMPUTE_FRACTION
+from repro.core.strategy import Placement, ProcessGrid
+from repro.errors import StrategyError
+from repro.machine.params import MachineParams
+from repro.nn.network import NetworkSpec, WeightedLayer
+
+__all__ = ["GridCostTable", "family_cost_table", "per_layer_cost_table"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GridCostTable:
+    """Per-grid cost columns for one strategy family at one ``(P, B)``.
+
+    All arrays have one entry per grid, in the order of ``grids``.  The
+    aggregate columns are bit-identical to the corresponding
+    :class:`~repro.core.costs.CostBreakdown` /
+    :class:`~repro.core.simulate.SimulationPoint` properties evaluated
+    serially on the same grids.
+    """
+
+    grids: Tuple[ProcessGrid, ...]
+    placements: Tuple[Placement, ...]
+    comm_latency: np.ndarray
+    comm_bandwidth: np.ndarray
+    comm_total: np.ndarray
+    batch_comm: np.ndarray
+    model_comm: np.ndarray
+    domain_comm: np.ndarray
+    volume: np.ndarray
+    compute_time: float
+    iterations: float
+    iter_total: np.ndarray
+    epoch_total: np.ndarray
+
+    @property
+    def comm_epoch(self) -> np.ndarray:
+        return self.comm_total * self.iterations
+
+    @property
+    def batch_comm_epoch(self) -> np.ndarray:
+        return self.batch_comm * self.iterations
+
+    def argmin_epoch(self) -> int:
+        """Index of the cheapest grid (first on exact ties, like ``min``)."""
+        return int(np.argmin(self.epoch_total))
+
+    def __len__(self) -> int:
+        return len(self.grids)
+
+
+class _Accumulator:
+    """Column accumulators mirroring ``CostBreakdown``'s aggregations."""
+
+    def __init__(self, n: int) -> None:
+        self.latency = np.zeros(n)
+        self.bandwidth = np.zeros(n)
+        self.total = np.zeros(n)
+        self.volume = np.zeros(n)
+        self.by_category = {
+            "batch.allreduce_dw": np.zeros(n),
+            "model.allgather_fwd": np.zeros(n),
+            "model.allreduce_dx": np.zeros(n),
+            "domain.halo_fwd": np.zeros(n),
+            "domain.halo_bwd": np.zeros(n),
+        }
+
+    def add(self, category, lat, bw, vol, mask=None) -> None:
+        time = lat + bw
+        if mask is not None:
+            lat = np.where(mask, lat, 0.0)
+            bw = np.where(mask, bw, 0.0)
+            time = np.where(mask, time, 0.0)
+            vol = np.where(mask, vol, 0.0)
+        self.latency += lat
+        self.bandwidth += bw
+        self.total += time
+        self.volume += vol
+        self.by_category[category] += time
+
+    def add_scalar(self, category, cost, vol) -> None:
+        self.add(category, np.asarray(cost.latency), np.asarray(cost.bandwidth), np.asarray(vol))
+
+
+class _TermRecorder:
+    """Accumulator-compatible sink that also remembers each term column.
+
+    Used by the per-layer optimizer: a layer's candidate placements are
+    recorded once, the per-layer totals drive the (vectorized) candidate
+    selection, and the chosen candidate's terms are then replayed into
+    the real :class:`_Accumulator` under a per-grid selection mask.  The
+    running ``total`` reproduces the serial per-layer score exactly:
+    ``0.0 + t1 + t2 + ...`` in term-visit order.
+    """
+
+    def __init__(self, n: int) -> None:
+        self.total = np.zeros(n)
+        self.terms = []  # (category, lat, bw, vol, mask-or-None)
+
+    def add(self, category, lat, bw, vol, mask=None) -> None:
+        time = lat + bw
+        if mask is not None:
+            time = np.where(mask, time, 0.0)
+        self.total = self.total + time
+        self.terms.append((category, lat, bw, vol, mask))
+
+    def add_scalar(self, category, cost, vol) -> None:
+        self.add(
+            category, np.asarray(cost.latency), np.asarray(cost.bandwidth), np.asarray(vol)
+        )
+
+    def replay(self, acc: "_Accumulator", chosen: np.ndarray) -> None:
+        """Add the recorded terms into ``acc`` for lanes where ``chosen``."""
+        for category, lat, bw, vol, mask in self.terms:
+            combined = chosen if mask is None else (mask & chosen)
+            acc.add(category, lat, bw, vol, mask=combined)
+
+
+def _model_columns(
+    acc: _Accumulator,
+    layer: WeightedLayer,
+    first: bool,
+    batch: float,
+    pr: np.ndarray,
+    pc: np.ndarray,
+    log2_pr: np.ndarray,
+    log2_pc: np.ndarray,
+    machine: MachineParams,
+) -> None:
+    """Vectorized ``_model_layer_terms``: same expressions, array lanes."""
+    alpha, beta = machine.alpha, machine.beta
+    local_batch = batch / pc
+    pr_mask = pr > 1
+    # Forward all-gather of Y_i over the Pr group (allgather_bruck).
+    ag_n = local_batch * layer.d_out
+    acc.add(
+        "model.allgather_fwd",
+        alpha * log2_pr,
+        beta * ag_n * (pr - 1) / pr,
+        ag_n * (pr - 1) / pr,
+        mask=pr_mask,
+    )
+    # Backward all-reduce of dX over the Pr group (allreduce_ring).
+    if not first:
+        ar_n = local_batch * layer.d_in
+        acc.add(
+            "model.allreduce_dx",
+            alpha * (2 * log2_pr),
+            2 * beta * ar_n * (pr - 1) / pr,
+            2 * ar_n * (pr - 1) / pr,
+            mask=pr_mask,
+        )
+    # Weight-gradient all-reduce over the Pc group, volume |W_i| / Pr.
+    dw_n = layer.weights / pr
+    acc.add(
+        "batch.allreduce_dw",
+        alpha * (2 * log2_pc),
+        2 * beta * dw_n * (pc - 1) / pc,
+        2 * dw_n * (pc - 1) / pc,
+        mask=pc > 1,
+    )
+
+
+def _domain_columns(
+    acc: _Accumulator,
+    layer: WeightedLayer,
+    batch: float,
+    pr: np.ndarray,
+    pc: np.ndarray,
+    p: int,
+    machine: MachineParams,
+) -> None:
+    """Vectorized ``_domain_layer_terms`` halos + the scalar dW term."""
+    if layer.is_fc:
+        raise StrategyError(
+            f"layer {layer.name!r} is fully connected; domain parallelism is "
+            "not applicable there (the halo would span the whole input — "
+            "paper Section 2.4)"
+        )
+    alpha, beta = machine.alpha, machine.beta
+    local_batch = batch / pc
+    pr_mask = pr > 1
+    # Chained multiplications replicate the scalar left-to-right order.
+    fwd_n = local_batch * layer.in_shape.width * layer.in_shape.channels * layer.halo_rows
+    acc.add(
+        "domain.halo_fwd",
+        np.full_like(fwd_n, alpha),
+        beta * fwd_n,
+        fwd_n,
+        mask=pr_mask & (fwd_n > 0),
+    )
+    bwd_n = local_batch * layer.out_shape.width * layer.out_shape.channels * layer.halo_cols
+    acc.add(
+        "domain.halo_bwd",
+        np.full_like(bwd_n, alpha),
+        beta * bwd_n,
+        bwd_n,
+        mask=pr_mask & (bwd_n > 0),
+    )
+    # Fully replicated weights: all-reduce over all P — grid-independent,
+    # so the original scalar function is exact and broadcastable.
+    if p > 1:
+        cost = allreduce_ring(p, layer.weights, machine)
+        acc.add_scalar("batch.allreduce_dw", cost, 2 * layer.weights * (p - 1) / p)
+
+
+def _batch_columns(
+    acc: _Accumulator, layer: WeightedLayer, batch: float, p: int, machine: MachineParams
+) -> None:
+    """``_batch_layer_terms``: grid-independent, computed by the scalar path."""
+    if p > batch:
+        raise StrategyError(
+            f"layer {layer.name!r} is placed pure batch over P={p} processes "
+            f"but the batch is only {batch} (fewer than one sample each); "
+            "scale past P=B with domain or model parallelism (Sec. 2.4)"
+        )
+    if p == 1:
+        return
+    cost = allreduce_ring(p, layer.weights, machine)
+    acc.add_scalar("batch.allreduce_dw", cost, 2 * layer.weights * (p - 1) / p)
+
+
+def _grid_arrays(grids: Sequence[ProcessGrid], batch: float):
+    """Validate a grid enumeration and build its per-lane arrays."""
+    if not grids:
+        raise StrategyError("need at least one grid")
+    if batch <= 0:
+        raise StrategyError(f"batch size must be positive, got {batch}")
+    for grid in grids:
+        if grid.pc > batch:
+            raise StrategyError(
+                f"batch {batch} cannot be split over Pc={grid.pc} "
+                "(fewer than one sample per batch group)"
+            )
+    p_values = {g.p for g in grids}
+    if len(p_values) != 1:
+        raise StrategyError(f"grids must share one process count, got P={sorted(p_values)}")
+    p = p_values.pop()
+    pr = np.array([g.pr for g in grids], dtype=np.float64)
+    pc = np.array([g.pc for g in grids], dtype=np.float64)
+    log2_pr = np.array([_log2ceil(g.pr) for g in grids], dtype=np.float64)
+    log2_pc = np.array([_log2ceil(g.pc) for g in grids], dtype=np.float64)
+    return p, pr, pc, log2_pr, log2_pc
+
+
+def _finish_table(
+    grids, placements, acc, compute_time: float, iterations: float, overlap: bool
+) -> GridCostTable:
+    """Assemble the final :class:`GridCostTable` from accumulated columns."""
+    if overlap:
+        # Mirrors repro.core.overlap.overlapped_time with the defaults.
+        hidden_capacity = BACKPROP_COMPUTE_FRACTION * compute_time
+        overlappable = BACKPROP_COMM_FRACTION * acc.total
+        exposed = acc.total - np.minimum(overlappable, hidden_capacity)
+        iter_total = compute_time + exposed
+    else:
+        iter_total = acc.total + compute_time
+    return GridCostTable(
+        grids=tuple(grids),
+        placements=tuple(placements),
+        comm_latency=acc.latency,
+        comm_bandwidth=acc.bandwidth,
+        comm_total=acc.total,
+        batch_comm=acc.by_category["batch.allreduce_dw"],
+        model_comm=acc.by_category["model.allgather_fwd"]
+        + acc.by_category["model.allreduce_dx"],
+        domain_comm=acc.by_category["domain.halo_fwd"]
+        + acc.by_category["domain.halo_bwd"],
+        volume=acc.volume,
+        compute_time=compute_time,
+        iterations=iterations,
+        iter_total=iter_total,
+        epoch_total=iter_total * iterations,
+    )
+
+
+def family_cost_table(
+    network: NetworkSpec,
+    batch: float,
+    grids: Sequence[ProcessGrid],
+    machine: MachineParams,
+    *,
+    placements: Sequence[Placement],
+    compute_time: float,
+    iterations: float,
+    overlap: bool = False,
+) -> GridCostTable:
+    """Evaluate one fixed per-layer placement vector over many grids.
+
+    ``placements`` holds one :class:`Placement` per weighted layer and
+    is shared by every grid (the shape of the built-in families
+    ``same_grid_model`` / ``conv_batch_fc_model`` /
+    ``conv_domain_fc_model``).  ``compute_time`` is the per-iteration
+    compute share (identical for every factorization of the same ``P``)
+    and ``iterations`` the ``N / B`` epoch multiplier.
+
+    Raises :class:`StrategyError` exactly where the serial path would:
+    infeasible batch splits (``Pc > B``), pure-batch layers past
+    ``P > B``, or domain placement on a fully connected layer.
+    """
+    if len(placements) != network.num_weighted:
+        raise StrategyError(
+            f"{len(placements)} placements for {network.num_weighted} weighted layers"
+        )
+    p, pr, pc, log2_pr, log2_pc = _grid_arrays(grids, batch)
+
+    acc = _Accumulator(len(grids))
+    batch = float(batch)
+    for layer, placement in zip(network.weighted_layers, placements):
+        if placement is Placement.MODEL:
+            _model_columns(
+                acc, layer, layer.index == 1, batch, pr, pc, log2_pr, log2_pc, machine
+            )
+        elif placement is Placement.DOMAIN:
+            _domain_columns(acc, layer, batch, pr, pc, p, machine)
+        else:
+            _batch_columns(acc, layer, batch, p, machine)
+
+    return _finish_table(grids, placements, acc, compute_time, iterations, overlap)
+
+
+def per_layer_cost_table(
+    network: NetworkSpec,
+    batch: float,
+    grids: Sequence[ProcessGrid],
+    machine: MachineParams,
+    *,
+    allow_domain: bool = True,
+    compute_time: float,
+    iterations: float,
+    overlap: bool = False,
+) -> Tuple[GridCostTable, Tuple[Tuple[Placement, ...], ...]]:
+    """Vectorized per-layer-optimal placements over many grids at once.
+
+    For every grid lane this reproduces
+    :func:`repro.core.optimizer.optimal_placements` exactly: each
+    weighted layer is scored under MODEL, BATCH (skipped past
+    ``P > B``) and — for convolutions when ``allow_domain`` — DOMAIN,
+    in that candidate order with strict-improvement tie-breaking; the
+    chosen candidate's terms are then replayed into the table's
+    accumulators under the per-grid selection mask (masked lanes add an
+    exact ``0.0``).  Returns the table plus the chosen placement vector
+    for each grid, in grid order.
+    """
+    p, pr, pc, log2_pr, log2_pc = _grid_arrays(grids, batch)
+    n = len(grids)
+    batch = float(batch)
+    acc = _Accumulator(n)
+    layer_choices = []  # per layer: (candidate placements, per-grid index)
+    for layer in network.weighted_layers:
+        candidates = [Placement.MODEL, Placement.BATCH]
+        if allow_domain and layer.is_conv:
+            candidates.append(Placement.DOMAIN)
+        recorders, kept = [], []
+        for placement in candidates:
+            if placement is Placement.BATCH and p > batch:
+                continue  # pure batch infeasible past P = B
+            rec = _TermRecorder(n)
+            if placement is Placement.MODEL:
+                _model_columns(
+                    rec, layer, layer.index == 1, batch, pr, pc, log2_pr, log2_pc, machine
+                )
+            elif placement is Placement.DOMAIN:
+                _domain_columns(rec, layer, batch, pr, pc, p, machine)
+            else:
+                _batch_columns(rec, layer, batch, p, machine)
+            recorders.append(rec)
+            kept.append(placement)
+        # First strictly-smaller candidate wins, in candidate order —
+        # exactly the serial optimizer's tie-breaking.
+        best_cost = recorders[0].total
+        choice = np.zeros(n, dtype=np.intp)
+        for i in range(1, len(recorders)):
+            better = recorders[i].total < best_cost
+            best_cost = np.where(better, recorders[i].total, best_cost)
+            choice = np.where(better, i, choice)
+        for i, rec in enumerate(recorders):
+            rec.replay(acc, choice == i)
+        layer_choices.append((kept, choice))
+
+    placements_per_grid = tuple(
+        tuple(kept[choice[g]] for kept, choice in layer_choices)
+        for g in range(n)
+    )
+    table = _finish_table(
+        grids, (), acc, compute_time, iterations, overlap
+    )
+    return table, placements_per_grid

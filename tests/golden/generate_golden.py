@@ -1,0 +1,79 @@
+"""Regenerate the golden cost tables (run only to refresh intentionally).
+
+Usage::
+
+    PYTHONPATH=src python tests/golden/generate_golden.py
+
+Freezes the serial Eq. 3/4/8/9 cost-model outputs for the paper's
+Table-1 AlexNet configuration (B = 2048, Cori-KNL machine constants) on
+five grid shapes of P = 512 — from pure batch ``1x512`` (Eq. 4) through
+1.5D grids (Eq. 8/9) to pure model ``512x1`` (Eq. 3).  Every term's
+latency/bandwidth/volume is stored as ``float.hex()`` so the regression
+test (``tests/test_golden_costs.py``) can assert **exact** equality:
+any change to these numbers is a cost-model change and must be
+deliberate.
+"""
+
+import json
+import os
+
+from repro.core.costs import integrated_cost
+from repro.core.strategy import ProcessGrid, Strategy
+from repro.experiments.common import default_setting
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "alexnet_cost_tables.json")
+
+BATCH = 2048
+GRIDS = [(1, 512), (2, 256), (16, 32), (64, 8), (512, 1)]
+FAMILIES = ["same_grid_model", "conv_batch_fc_model", "conv_domain_fc_model"]
+
+
+def build_golden() -> dict:
+    setting = default_setting()
+    network, machine = setting.network, setting.machine
+    cases = []
+    for pr, pc in GRIDS:
+        grid = ProcessGrid(pr, pc)
+        for family in FAMILIES:
+            strategy = getattr(Strategy, family)(network, grid)
+            breakdown = integrated_cost(network, BATCH, strategy, machine)
+            cases.append(
+                {
+                    "grid": [pr, pc],
+                    "family": family,
+                    "placements": [pl.value for pl in strategy.placements],
+                    "total": breakdown.total.hex(),
+                    "latency": breakdown.latency.hex(),
+                    "bandwidth": breakdown.bandwidth.hex(),
+                    "terms": [
+                        {
+                            "layer": term.layer,
+                            "category": term.category,
+                            "latency": term.cost.latency.hex(),
+                            "bandwidth": term.cost.bandwidth.hex(),
+                            "volume": float(term.volume).hex(),
+                        }
+                        for term in breakdown.terms
+                    ],
+                }
+            )
+    return {
+        "description": (
+            "Exact (float.hex) Eq. 3/4/8/9 cost terms for Table-1 AlexNet, "
+            "B=2048, Cori-KNL, across five grids of P=512"
+        ),
+        "network": network.name,
+        "machine": machine.name,
+        "batch": BATCH,
+        "alpha": machine.alpha.hex(),
+        "beta_per_byte": machine.beta_per_byte.hex(),
+        "cases": cases,
+    }
+
+
+if __name__ == "__main__":
+    golden = build_golden()
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as fh:
+        json.dump(golden, fh, indent=1)
+        fh.write("\n")
+    print(f"wrote {GOLDEN_PATH} ({len(golden['cases'])} cases)")

@@ -1,0 +1,110 @@
+"""Golden-value regression tests for the Eq. 3/4/8/9 cost model.
+
+``tests/golden/alexnet_cost_tables.json`` freezes every cost term of
+the Table-1 AlexNet configuration (B = 2048, Cori-KNL) on five grid
+shapes of P = 512, as ``float.hex()`` strings.  These tests assert
+**exact** equality — any diff is a cost-model change and must be made
+deliberately by re-running ``tests/golden/generate_golden.py`` and
+reviewing the numbers.  The same frozen values also pin the memoized
+search engine and the vectorized grid tables, proving all three paths
+(serial, cached, vectorized) agree bit-for-bit with history.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.costs import integrated_cost
+from repro.core.strategy import ProcessGrid, Strategy
+from repro.experiments.common import default_setting
+from repro.search import SearchEngine
+from repro.search.tables import family_cost_table
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "golden", "alexnet_cost_tables.json"
+)
+
+with open(GOLDEN_PATH, "r", encoding="utf-8") as _fh:
+    GOLDEN = json.load(_fh)
+
+SETTING = default_setting()
+CASE_IDS = [f"{c['family']}-{c['grid'][0]}x{c['grid'][1]}" for c in GOLDEN["cases"]]
+
+
+def _strategy(case):
+    grid = ProcessGrid(*case["grid"])
+    return getattr(Strategy, case["family"])(SETTING.network, grid)
+
+
+def test_golden_machine_constants_unchanged():
+    assert GOLDEN["network"] == SETTING.network.name
+    assert GOLDEN["machine"] == SETTING.machine.name
+    assert float.fromhex(GOLDEN["alpha"]) == SETTING.machine.alpha
+    assert float.fromhex(GOLDEN["beta_per_byte"]) == SETTING.machine.beta_per_byte
+
+
+def test_golden_covers_five_grids_and_three_families():
+    grids = {tuple(c["grid"]) for c in GOLDEN["cases"]}
+    assert grids == {(1, 512), (2, 256), (16, 32), (64, 8), (512, 1)}
+    assert {c["family"] for c in GOLDEN["cases"]} == {
+        "same_grid_model", "conv_batch_fc_model", "conv_domain_fc_model"
+    }
+
+
+@pytest.mark.parametrize("case", GOLDEN["cases"], ids=CASE_IDS)
+def test_serial_cost_terms_match_golden_exactly(case):
+    breakdown = integrated_cost(
+        SETTING.network, GOLDEN["batch"], _strategy(case), SETTING.machine
+    )
+    assert breakdown.total.hex() == case["total"]
+    assert breakdown.latency.hex() == case["latency"]
+    assert breakdown.bandwidth.hex() == case["bandwidth"]
+    assert len(breakdown.terms) == len(case["terms"])
+    for term, expected in zip(breakdown.terms, case["terms"]):
+        assert term.layer == expected["layer"]
+        assert term.category == expected["category"]
+        assert term.cost.latency.hex() == expected["latency"], (
+            f"{term.layer}/{term.category}: latency drifted from golden"
+        )
+        assert term.cost.bandwidth.hex() == expected["bandwidth"], (
+            f"{term.layer}/{term.category}: bandwidth drifted from golden"
+        )
+        assert float(term.volume).hex() == expected["volume"]
+
+
+@pytest.mark.parametrize("case", GOLDEN["cases"], ids=CASE_IDS)
+def test_engine_cached_terms_match_golden_exactly(case):
+    engine = SearchEngine()
+    breakdown = engine.integrated_cost(
+        SETTING.network, GOLDEN["batch"], _strategy(case), SETTING.machine
+    )
+    assert breakdown.total.hex() == case["total"]
+    for term, expected in zip(breakdown.terms, case["terms"]):
+        assert term.cost.latency.hex() == expected["latency"]
+        assert term.cost.bandwidth.hex() == expected["bandwidth"]
+        assert float(term.volume).hex() == expected["volume"]
+
+
+@pytest.mark.parametrize("family", sorted({c["family"] for c in GOLDEN["cases"]}))
+def test_vectorized_table_matches_golden_exactly(family):
+    """One numpy table over all five golden grids == the frozen scalars."""
+    cases = {
+        tuple(c["grid"]): c for c in GOLDEN["cases"] if c["family"] == family
+    }
+    grids = [ProcessGrid(*g) for g in sorted(cases)]
+    strategy = getattr(Strategy, family)(SETTING.network, grids[0])
+    table = family_cost_table(
+        SETTING.network,
+        GOLDEN["batch"],
+        grids,
+        SETTING.machine,
+        placements=strategy.placements,
+        compute_time=0.0,
+        iterations=1.0,
+    )
+    for i, grid in enumerate(grids):
+        case = cases[(grid.pr, grid.pc)]
+        assert float(table.comm_total[i]).hex() == case["total"]
+        assert float(table.comm_latency[i]).hex() == case["latency"]
+        assert float(table.comm_bandwidth[i]).hex() == case["bandwidth"]

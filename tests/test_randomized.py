@@ -1,19 +1,29 @@
 """Randomized (hypothesis) end-to-end properties.
 
 These sample grid shapes, placements, and network/batch sizes the
-hand-written tests did not enumerate, holding the reproduction's two
+hand-written tests did not enumerate, holding the reproduction's three
 central invariants: (1) every distributed trainer is sequentially
 consistent with serial SGD; (2) collective results are independent of
-the algorithm used.
+the algorithm used; (3) the memoized/vectorized search engine returns
+bit-identical results to the serial optimizer.
 """
 
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.core.optimizer import best_strategy, evaluate_grids, optimal_placements
+from repro.core.strategy import ProcessGrid
 from repro.data.synthetic import synthetic_classification
 from repro.dist.switching import distributed_switching_mlp_train
 from repro.dist.train import MLPParams, distributed_mlp_train, serial_mlp_train
+from repro.errors import StrategyError
+from repro.machine.compute import ComputeModel
+from repro.machine.params import MachineParams
+from repro.nn.alexnet import alexnet
+from repro.nn.zoo import lenet_like, mlp, resnet_like_stack
+from repro.search import SearchEngine
+from repro.search.cache import machine_key
 from repro.simmpi.engine import SimEngine
 
 X, Y = synthetic_classification(9, 40, 4, seed=100)
@@ -104,6 +114,126 @@ def test_allgather_variable_blocks_random(size, per_rank, algorithm):
     )
     for value in res.values:
         np.testing.assert_array_equal(np.asarray(value).ravel(), expected)
+
+
+# -- search-engine bit-identity properties -----------------------------------
+
+NETWORKS = {
+    "alexnet": alexnet(),
+    "lenet": lenet_like(),
+    "resnet8": resnet_like_stack(input_size=56, blocks=4),
+    "mlp": mlp([512, 384, 256, 10], name="rand-mlp"),
+}
+COMPUTE = ComputeModel.knl_alexnet()
+
+
+def machines():
+    """Random machine parameters (alpha seconds, beta seconds/byte)."""
+    return st.builds(
+        lambda alpha, inv_bw: MachineParams(
+            alpha=alpha, beta_per_byte=1.0 / inv_bw, name="rand"
+        ),
+        alpha=st.floats(1e-7, 1e-4),
+        inv_bw=st.floats(1e8, 1e12),
+    )
+
+
+def _grid_choices_equal(serial, engine):
+    assert serial.strategy == engine.strategy
+    assert serial.total_epoch == engine.total_epoch  # exact, not approx
+    assert serial.comm_epoch == engine.comm_epoch
+    assert (
+        serial.point.iteration.comm.terms == engine.point.iteration.comm.terms
+    )
+
+
+@given(
+    net=st.sampled_from(sorted(NETWORKS)),
+    p=st.sampled_from([2, 4, 8, 24, 60, 64, 256]),
+    batch=st.sampled_from([1, 7, 32, 100, 512, 2048]),
+    machine=machines(),
+    per_layer=st.booleans(),
+    overlap=st.booleans(),
+)
+@settings(max_examples=25, deadline=None)
+def test_search_engine_best_strategy_bit_identical(
+    net, p, batch, machine, per_layer, overlap
+):
+    """Cached+vectorized best_strategy == serial, bit for bit."""
+    network = NETWORKS[net]
+    engine = SearchEngine()
+    kwargs = dict(per_layer=per_layer, overlap=overlap)
+    try:
+        serial = best_strategy(network, batch, p, machine, COMPUTE, **kwargs)
+    except StrategyError:
+        with pytest.raises(StrategyError):
+            engine.best_strategy(network, batch, p, machine, COMPUTE, **kwargs)
+        return
+    cached = engine.best_strategy(network, batch, p, machine, COMPUTE, **kwargs)
+    _grid_choices_equal(serial, cached)
+    # A second (fully cache-hit) evaluation must not change the answer.
+    again = engine.best_strategy(network, batch, p, machine, COMPUTE, **kwargs)
+    _grid_choices_equal(serial, again)
+    assert engine.cache_stats().hits > 0
+
+
+@given(
+    net=st.sampled_from(sorted(NETWORKS)),
+    p=st.sampled_from([4, 8, 36, 64]),
+    batch=st.sampled_from([16, 100, 512]),
+    machine=machines(),
+)
+@settings(max_examples=20, deadline=None)
+def test_search_engine_grid_tables_bit_identical(net, p, batch, machine):
+    """Every grid's full SimulationPoint matches the serial evaluation."""
+    network = NETWORKS[net]
+    engine = SearchEngine()
+    serial = evaluate_grids(network, batch, p, machine, COMPUTE)
+    cached = engine.evaluate_grids(network, batch, p, machine, COMPUTE)
+    assert len(serial) == len(cached)
+    for a, b in zip(serial, cached):
+        assert a.strategy == b.strategy
+        assert a.total_epoch == b.total_epoch
+        assert a.comm_epoch == b.comm_epoch
+        assert a.iteration.comm.terms == b.iteration.comm.terms
+
+
+@given(
+    net=st.sampled_from(sorted(NETWORKS)),
+    pr=st.sampled_from([1, 2, 4, 8]),
+    pc=st.sampled_from([1, 3, 8, 16]),
+    batch=st.sampled_from([16, 100, 512]),
+    machine=machines(),
+)
+@settings(max_examples=20, deadline=None)
+def test_search_engine_placements_bit_identical(net, pr, pc, batch, machine):
+    network = NETWORKS[net]
+    grid = ProcessGrid(pr, pc)
+    if grid.pc > batch:
+        return
+    engine = SearchEngine()
+    serial = optimal_placements(network, batch, grid, machine)
+    cached = engine.optimal_placements(network, batch, grid, machine)
+    assert serial == cached
+
+
+@given(machine=machines(), factor=st.floats(1.001, 100.0))
+@settings(max_examples=15, deadline=None)
+def test_cache_invalidates_when_machine_changes(machine, factor):
+    """A derated machine gets fresh kernels, never stale cached costs."""
+    network = NETWORKS["alexnet"]
+    engine = SearchEngine()
+    derated = machine.derated(latency_factor=factor, bandwidth_factor=1.0 / factor)
+    assert machine_key(machine) != machine_key(derated)
+    first = engine.best_strategy(network, 512, 64, machine, COMPUTE)
+    keys_before = set(engine.cache.term_keys())
+    second = engine.best_strategy(network, 512, 64, derated, COMPUTE)
+    # Every key carries the machine fields: no entry was reused.
+    new_keys = set(engine.cache.term_keys()) - keys_before
+    assert new_keys and all(k[-1] == machine_key(derated) for k in new_keys)
+    # And the answers still match the serial path for both machines.
+    _grid_choices_equal(best_strategy(network, 512, 64, machine, COMPUTE), first)
+    _grid_choices_equal(best_strategy(network, 512, 64, derated, COMPUTE), second)
 
 
 def test_stress_many_ranks_collectives():
