@@ -1,0 +1,187 @@
+"""Regression detection between two run records (``repro diff``).
+
+Compares a *baseline* :class:`~repro.analysis.record.RunRecord` against
+a *current* one — same trainer, config and grid, or the records are not
+comparable — span by span, rank by rank, and on the headline figures
+(makespan, critical-path length).  Virtual timings are deterministic,
+so two runs of an unchanged program diff clean with even the tightest
+thresholds; a slower machine model, a new collective algorithm or an
+accidentally-added synchronization shows up as per-span regressions
+with the responsible spans named.
+
+Thresholds are per-quantity relative tolerances.  Times default to a
+small non-zero tolerance (float reduction order may legitimately move
+a bounded amount of virtual time between spans); bytes and message
+counts default to **zero** — communication volume is exactly
+reproducible, so any growth is a real behavioral change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.analysis.record import RunRecord
+from repro.core.results import ResultTable
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "DiffThresholds",
+    "Regression",
+    "DiffReport",
+    "diff_records",
+]
+
+#: Virtual-time deltas below this are noise regardless of tolerance.
+ABS_TIME_FLOOR_S = 1e-12
+
+
+@dataclasses.dataclass(frozen=True)
+class DiffThresholds:
+    """Allowed relative growth per compared quantity."""
+
+    time_rel: float = 0.02
+    bytes_rel: float = 0.0
+    msgs_rel: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("time_rel", "bytes_rel", "msgs_rel"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigurationError(
+                    f"{name} must be >= 0, got {value}"
+                )
+
+
+@dataclasses.dataclass(frozen=True)
+class Regression:
+    """One quantity that grew past its threshold."""
+
+    kind: str  # "span-time" | "span-bytes" | "span-sends" | "makespan" | ...
+    name: str  # span name, "rank 3", or "" for run-level figures
+    baseline: float
+    current: float
+
+    @property
+    def rel_change(self) -> float:
+        if self.baseline == 0:
+            return float("inf") if self.current > 0 else 0.0
+        return (self.current - self.baseline) / self.baseline
+
+    def __str__(self) -> str:
+        where = f" [{self.name}]" if self.name else ""
+        return (
+            f"{self.kind}{where}: {self.baseline:g} -> {self.current:g} "
+            f"(+{self.rel_change:.1%})"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class DiffReport:
+    """All comparisons of one diff, with the failing subset."""
+
+    regressions: Tuple[Regression, ...]
+    compared: int
+    thresholds: DiffThresholds
+
+    @property
+    def regressed(self) -> bool:
+        return bool(self.regressions)
+
+    def to_table(self) -> ResultTable:
+        verdict = "REGRESSED" if self.regressed else "clean"
+        table = ResultTable(
+            f"run-record diff: {self.compared} quantities compared, "
+            f"{len(self.regressions)} regression(s) -> {verdict}",
+            columns=["kind", "name", "baseline", "current", "change"],
+        )
+        for r in self.regressions:
+            table.add_row(
+                kind=r.kind,
+                name=r.name or "-",
+                baseline=r.baseline,
+                current=r.current,
+                change=f"+{r.rel_change:.1%}",
+            )
+        return table
+
+
+def _exceeds(baseline: float, current: float, rel: float, *, floor: float = 0.0) -> bool:
+    if current <= baseline:
+        return False
+    if current - baseline <= floor:
+        return False
+    if baseline == 0:
+        return True
+    return (current - baseline) / baseline > rel
+
+
+def diff_records(
+    baseline: RunRecord,
+    current: RunRecord,
+    *,
+    thresholds: DiffThresholds = DiffThresholds(),
+) -> DiffReport:
+    """Compare ``current`` against ``baseline``; collect regressions.
+
+    Raises :class:`~repro.errors.ConfigurationError` when the records
+    are not comparable (different trainer, config or grid) — that is a
+    usage error, not a regression.  Only *growth* regresses; a faster
+    run never fails the gate.  A record whose trace dropped events is
+    rejected as a baseline (its totals are lower bounds, so a true
+    regression could hide under them).
+    """
+    if baseline.config_key != current.config_key:
+        raise ConfigurationError(
+            "run records are not comparable: baseline "
+            f"{baseline.config_key} vs current {current.config_key}; "
+            "regenerate the baseline for this configuration"
+        )
+    if baseline.dropped:
+        raise ConfigurationError(
+            f"baseline record dropped {baseline.dropped} trace events; "
+            "its totals are lower bounds and cannot gate regressions"
+        )
+    regressions: List[Regression] = []
+    compared = 0
+
+    def check(kind: str, name: str, base: float, cur: float, rel: float,
+              *, floor: float = 0.0) -> None:
+        nonlocal compared
+        compared += 1
+        if _exceeds(base, cur, rel, floor=floor):
+            regressions.append(Regression(kind, name, base, cur))
+
+    t = thresholds
+    check("makespan", "", baseline.makespan_s, current.makespan_s,
+          t.time_rel, floor=ABS_TIME_FLOOR_S)
+    check(
+        "critical-path", "",
+        float(baseline.critical.get("length_s", 0.0)),
+        float(current.critical.get("length_s", 0.0)),
+        t.time_rel, floor=ABS_TIME_FLOOR_S,
+    )
+    base_spans: Dict[str, Dict] = {r["span"]: r for r in baseline.spans}
+    for row in current.spans:
+        name = row["span"]
+        base_row = base_spans.get(name)
+        if base_row is None:
+            regressions.append(
+                Regression("span-new", name, 0.0, float(row["virtual_time_s"]))
+            )
+            compared += 1
+            continue
+        check("span-time", name, float(base_row["virtual_time_s"]),
+              float(row["virtual_time_s"]), t.time_rel, floor=ABS_TIME_FLOOR_S)
+        check("span-bytes", name, float(base_row["bytes"]),
+              float(row["bytes"]), t.bytes_rel)
+        check("span-sends", name, float(base_row["sends"]),
+              float(row["sends"]), t.msgs_rel)
+    base_ranks = {int(r["rank"]): r for r in baseline.ranks}
+    for row in current.ranks:
+        base_row = base_ranks.get(int(row["rank"]))
+        if base_row is None:
+            continue  # grid reshapes are caught by config_key already
+        check("rank-wall", f"rank {row['rank']}", float(base_row["wall_s"]),
+              float(row["wall_s"]), t.time_rel, floor=ABS_TIME_FLOOR_S)
+    return DiffReport(tuple(regressions), compared, t)

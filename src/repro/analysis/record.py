@@ -1,0 +1,284 @@
+"""Versioned, schema-validated run records.
+
+A :class:`RunRecord` is the durable artifact of one traced run: which
+trainer ran, on what configuration, machine and grid, how long each
+span took, how each rank's time decomposed, and the critical-path
+digest — everything ``repro diff`` needs to decide whether a later run
+regressed, in one JSON file.  Because all timings are *virtual*, a
+record is bit-stable across hosts: two runs of the same program on the
+same fault plan produce byte-identical payloads (minus the free-form
+``meta`` block), which is what makes the CI trace-diff gate meaningful.
+
+The schema is versioned (:data:`RUN_RECORD_SCHEMA`); readers reject
+unknown versions instead of misinterpreting them, and
+:func:`validate_run_record` checks the structural invariants every
+consumer relies on (required keys, types, per-rank decomposition
+consistency).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.machine.params import MachineParams
+from repro.simmpi.tracing import TraceEvent
+
+__all__ = [
+    "RUN_RECORD_SCHEMA",
+    "RunRecord",
+    "validate_run_record",
+    "build_run_record",
+    "read_run_record",
+    "write_run_record",
+]
+
+RUN_RECORD_SCHEMA = "repro.analysis.record/v1"
+
+#: key -> (required, type check) for the top-level payload.
+_TOP_LEVEL: Dict[str, Tuple[bool, type]] = {
+    "schema": (True, str),
+    "trainer": (True, str),
+    "config": (True, dict),
+    "machine": (True, dict),
+    "grid": (True, dict),
+    "makespan_s": (True, (int, float)),
+    "spans": (True, list),
+    "ranks": (True, list),
+    "critical": (True, dict),
+    "counters": (True, dict),
+    "dropped": (True, int),
+    "meta": (False, dict),
+}
+
+_SPAN_KEYS = ("span", "count", "virtual_time_s", "sends", "bytes")
+_RANK_KEYS = ("rank", "wall_s", "compute_s", "comm_s", "wait_s")
+
+#: Absolute tolerance for the per-rank decomposition identity check.
+_DECOMP_TOL = 1e-9
+
+
+def validate_run_record(payload: Any) -> None:
+    """Raise :class:`~repro.errors.ConfigurationError` on a bad payload.
+
+    Checks the schema tag, required keys and their types, the span and
+    rank row shapes, and that every rank row satisfies
+    ``compute + comm + wait == wall`` to within float tolerance — the
+    invariant :func:`~repro.analysis.accounting.rank_accounting`
+    guarantees and ``repro diff`` relies on.
+    """
+    if not isinstance(payload, dict):
+        raise ConfigurationError("run record must be a JSON object")
+    if payload.get("schema") != RUN_RECORD_SCHEMA:
+        raise ConfigurationError(
+            f"run record schema must be {RUN_RECORD_SCHEMA!r}, "
+            f"got {payload.get('schema')!r}"
+        )
+    for key, (required, types) in _TOP_LEVEL.items():
+        if key not in payload:
+            if required:
+                raise ConfigurationError(f"run record missing key {key!r}")
+            continue
+        if not isinstance(payload[key], types):
+            raise ConfigurationError(
+                f"run record key {key!r} has type "
+                f"{type(payload[key]).__name__}, expected {types}"
+            )
+    for extra in set(payload) - set(_TOP_LEVEL):
+        raise ConfigurationError(f"run record has unknown key {extra!r}")
+    grid = payload["grid"]
+    for key in ("pr", "pc"):
+        if not isinstance(grid.get(key), int) or grid[key] < 1:
+            raise ConfigurationError(f"grid.{key} must be a positive integer")
+    for i, row in enumerate(payload["spans"]):
+        if not isinstance(row, dict):
+            raise ConfigurationError(f"spans[{i}] is not an object")
+        for key in _SPAN_KEYS:
+            if key not in row:
+                raise ConfigurationError(f"spans[{i}] missing key {key!r}")
+    for i, row in enumerate(payload["ranks"]):
+        if not isinstance(row, dict):
+            raise ConfigurationError(f"ranks[{i}] is not an object")
+        for key in _RANK_KEYS:
+            if not isinstance(row.get(key), (int, float)):
+                raise ConfigurationError(
+                    f"ranks[{i}].{key} must be a number, got {row.get(key)!r}"
+                )
+        residual = row["wall_s"] - row["compute_s"] - row["comm_s"] - row["wait_s"]
+        if abs(residual) > _DECOMP_TOL * max(1.0, abs(row["wall_s"])):
+            raise ConfigurationError(
+                f"ranks[{i}]: compute + comm + wait != wall "
+                f"(residual {residual:.3e})"
+            )
+    critical = payload["critical"]
+    if not isinstance(critical.get("length_s"), (int, float)):
+        raise ConfigurationError("critical.length_s must be a number")
+    if critical["length_s"] > payload["makespan_s"] + _DECOMP_TOL:
+        raise ConfigurationError(
+            f"critical path {critical['length_s']} exceeds makespan "
+            f"{payload['makespan_s']}"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class RunRecord:
+    """One traced run, ready to serialize, compare, and gate on."""
+
+    trainer: str
+    config: Dict[str, Any]
+    machine: Dict[str, Any]
+    grid: Dict[str, int]
+    makespan_s: float
+    spans: Tuple[Dict[str, Any], ...]
+    ranks: Tuple[Dict[str, Any], ...]
+    critical: Dict[str, Any]
+    counters: Dict[str, Any]
+    dropped: int = 0
+    meta: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    @property
+    def config_key(self) -> Tuple:
+        """What must match for two records to be diffable."""
+        return (
+            self.trainer,
+            tuple(sorted((k, repr(v)) for k, v in self.config.items())),
+            self.grid["pr"],
+            self.grid["pc"],
+        )
+
+    def span_row(self, name: str) -> Optional[Dict[str, Any]]:
+        for row in self.spans:
+            if row["span"] == name:
+                return row
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "schema": RUN_RECORD_SCHEMA,
+            "trainer": self.trainer,
+            "config": dict(self.config),
+            "machine": dict(self.machine),
+            "grid": dict(self.grid),
+            "makespan_s": self.makespan_s,
+            "spans": [dict(r) for r in self.spans],
+            "ranks": [dict(r) for r in self.ranks],
+            "critical": dict(self.critical),
+            "counters": dict(self.counters),
+            "dropped": self.dropped,
+        }
+        if self.meta:
+            payload["meta"] = dict(self.meta)
+        return payload
+
+    def to_json(self) -> str:
+        payload = self.to_dict()
+        validate_run_record(payload)
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunRecord":
+        validate_run_record(payload)
+        return cls(
+            trainer=payload["trainer"],
+            config=dict(payload["config"]),
+            machine=dict(payload["machine"]),
+            grid={k: int(v) for k, v in payload["grid"].items()},
+            makespan_s=float(payload["makespan_s"]),
+            spans=tuple(dict(r) for r in payload["spans"]),
+            ranks=tuple(dict(r) for r in payload["ranks"]),
+            critical=dict(payload["critical"]),
+            counters=dict(payload["counters"]),
+            dropped=int(payload["dropped"]),
+            meta=dict(payload.get("meta", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunRecord":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid run record: {exc}") from exc
+        return cls.from_dict(payload)
+
+
+def _machine_dict(machine: Optional[MachineParams]) -> Dict[str, Any]:
+    from repro.machine.params import cori_knl
+
+    m = machine if machine is not None else cori_knl()
+    return {
+        "name": m.name,
+        "alpha_s": m.alpha,
+        "bandwidth_bytes_s": m.bandwidth,
+        "element_bytes": m.element_bytes,
+    }
+
+
+def build_run_record(
+    events: Sequence[TraceEvent],
+    *,
+    trainer: str,
+    config: Dict[str, Any],
+    pr: int,
+    pc: int,
+    clocks: Optional[Sequence[float]] = None,
+    machine: Optional[MachineParams] = None,
+    dropped: int = 0,
+    meta: Optional[Dict[str, Any]] = None,
+) -> RunRecord:
+    """Assemble a :class:`RunRecord` from a trace.
+
+    Runs the accounting and critical-path analyses over ``events`` and
+    packages their machine-readable digests together with the run's
+    configuration.  ``config`` must be JSON-serializable; ``meta`` is a
+    free-form block (labels, commit ids) excluded from comparability.
+    """
+    from repro.analysis.accounting import rank_accounting
+    from repro.analysis.critical import critical_path
+    from repro.telemetry.summary import span_totals
+
+    accounting = rank_accounting(events, clocks=clocks, dropped=dropped)
+    cp = critical_path(events, clocks=clocks, dropped=dropped)
+    counters = {
+        "dag_nodes": cp.graph.n_nodes,
+        "dag_edges": cp.graph.n_edges,
+        "critical_events": len(cp.path),
+        "idle_fraction": accounting.idle_fraction,
+        "imbalance": accounting.imbalance,
+        "straggler_rank": accounting.straggler_rank,
+    }
+    return RunRecord(
+        trainer=trainer,
+        config=dict(config),
+        machine=_machine_dict(machine),
+        grid={"pr": int(pr), "pc": int(pc)},
+        makespan_s=max(accounting.makespan_s, cp.makespan_s),
+        spans=tuple(span_totals(events)),
+        ranks=tuple(a.to_dict() for a in accounting.accounts),
+        critical=cp.summary(),
+        counters=counters,
+        dropped=int(dropped),
+        meta=dict(meta or {}),
+    )
+
+
+def read_run_record(path: str) -> RunRecord:
+    """Load and validate a record file (:class:`ConfigurationError` on failure)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return RunRecord.from_json(fh.read())
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read run record {path!r}: {exc}") from exc
+
+
+def write_run_record(record: RunRecord, path: str) -> str:
+    """Serialize ``record`` to ``path`` (validating on the way out)."""
+    import os
+
+    parent = os.path.dirname(os.fspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(record.to_json())
+    return path

@@ -10,6 +10,8 @@ Examples::
     repro best -B 512 -P 4096 --network vgg16 --max-memory-mb 256
     repro bench --repeat 3 --out BENCH_search.json   # engine perf gate
     repro trace --experiment fig7 --pr 4 --pc 2 --out trace-out --assert-exact
+    repro trace --traffic --record run.json          # analysis + RunRecord
+    repro diff benchmarks/RECORD_baseline.json run.json   # regression gate
 """
 
 from __future__ import annotations
@@ -154,6 +156,11 @@ def build_parser() -> argparse.ArgumentParser:
     faults_p.add_argument(
         "--width", type=int, default=72, help="timeline width in columns"
     )
+    faults_p.add_argument(
+        "--record",
+        default=None,
+        help="write the run's versioned RunRecord JSON to this path",
+    )
 
     trace_p = sub.add_parser(
         "trace",
@@ -182,6 +189,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--assert-exact",
         action="store_true",
         help="exit non-zero unless the audit shows zero relative error",
+    )
+    trace_p.add_argument(
+        "--traffic",
+        action="store_true",
+        help="print the rank-by-rank point-to-point traffic heatmap",
+    )
+    trace_p.add_argument(
+        "--record",
+        default=None,
+        help="write the run's versioned RunRecord JSON to this path",
+    )
+
+    diff_p = sub.add_parser(
+        "diff",
+        help=(
+            "compare two RunRecord JSON files span by span and exit "
+            "non-zero on timing/traffic regressions"
+        ),
+    )
+    diff_p.add_argument("baseline", help="baseline RunRecord JSON path")
+    diff_p.add_argument("current", help="current RunRecord JSON path")
+    diff_p.add_argument(
+        "--time-tol",
+        type=float,
+        default=None,
+        help="allowed relative growth of any virtual time (default: 0.02)",
+    )
+    diff_p.add_argument(
+        "--bytes-tol",
+        type=float,
+        default=None,
+        help="allowed relative growth of span bytes (default: 0 — exact)",
+    )
+    diff_p.add_argument(
+        "--msgs-tol",
+        type=float,
+        default=None,
+        help="allowed relative growth of span message counts (default: 0)",
     )
     return parser
 
@@ -411,6 +456,15 @@ def _run_faults(args) -> int:
             )
     else:
         print("recovery: none needed")
+    if args.record:
+        from repro.analysis import write_run_record
+        from repro.dist.elastic import elastic_run_record
+
+        record = elastic_run_record(
+            result, batch=batch, steps=args.steps, checkpoint_every=2,
+        )
+        write_run_record(record, args.record)
+        print(f"record  : wrote {args.record}")
     print(f"failed ranks   : {list(result.sim.failed) or 'none'}")
     print(f"final loss     : {result.losses[-1]:.6f}")
     ref_params, _ = serial_mlp_train(
@@ -434,36 +488,76 @@ TRACE_PRESETS = {
 
 
 def _run_trace(args) -> int:
+    import numpy as np
+
+    from repro.analysis import (
+        critical_path,
+        rank_accounting,
+        register_analysis_metrics,
+    )
+    from repro.dist.train import MLPParams, distributed_mlp_train, mlp_run_record
     from repro.errors import ReproError
     from repro.report.export import export_metrics
-    from repro.telemetry.audit import audit_mlp_15d
+    from repro.report.timeline import render_traffic_matrix, traffic_matrix
+    from repro.simmpi.engine import SimEngine
+    from repro.telemetry.audit import audit_events
     from repro.telemetry.chrome import validate_chrome_trace, write_chrome_trace
     from repro.telemetry.metrics import MetricsRegistry
-    from repro.telemetry.summary import span_summary
+    from repro.telemetry.summary import dropped_warning, span_summary
 
     dims = TRACE_PRESETS[args.experiment]
     print(
         f"tracing : {args.experiment} dims={dims} on a {args.pr}x{args.pc} grid, "
         f"batch {args.batch}, {args.steps} step(s)"
     )
+    seed = 0
+    n = 4 * args.batch
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((dims[0], n))
+    y = rng.integers(0, dims[-1], n)
     try:
-        report, events = audit_mlp_15d(
-            dims,
-            pr=args.pr,
-            pc=args.pc,
-            batch=args.batch,
-            steps=args.steps,
+        engine = SimEngine(args.pr * args.pc, trace=True)
+        _, _, sim = distributed_mlp_train(
+            MLPParams.init(dims, seed=seed), x, y,
+            pr=args.pr, pc=args.pc, batch=args.batch, steps=args.steps,
+            engine=engine,
         )
+        events = engine.tracer.canonical()
+        dropped = engine.tracer.dropped
+        report = audit_events(
+            events, dims, pr=args.pr, pc=args.pc, batch=args.batch,
+            steps=args.steps, dropped=dropped,
+        )
+        accounting = rank_accounting(events, clocks=sim.clocks, dropped=dropped)
+        cp = critical_path(events, clocks=sim.clocks, dropped=dropped)
     except ReproError as exc:
         print(f"trace failed: {exc}", file=sys.stderr)
         return 2
+    if dropped:
+        print(f"WARNING : {dropped_warning(dropped)}", file=sys.stderr)
     registry = MetricsRegistry()
     for event in events:
         registry.observe_event(event)
+    register_analysis_metrics(registry, cp, accounting)
     print()
-    print(span_summary(events, per_rank=args.per_rank).to_ascii())
+    print(span_summary(events, per_rank=args.per_rank, dropped=dropped).to_ascii())
     print()
     print(report.to_table().to_ascii())
+    print()
+    print(accounting.to_table().to_ascii())
+    print()
+    print(cp.to_table(limit=12).to_ascii())
+    digest = cp.summary()
+    print(
+        f"critical: {digest['length_s']:.3e}s of {digest['makespan_s']:.3e}s "
+        f"makespan on the path ({digest['events']} events, DAG "
+        f"{digest['dag_nodes']} nodes / {digest['dag_edges']} edges); "
+        f"idle fraction {accounting.idle_fraction:.1%}, straggler rank "
+        f"{accounting.straggler_rank}"
+    )
+    if args.traffic:
+        print()
+        print(render_traffic_matrix(traffic_matrix(events)))
     print()
     print(
         f"audit   : max bandwidth rel. error "
@@ -471,20 +565,88 @@ def _run_trace(args) -> int:
         f"{report.max_latency_rel_error:.3e}"
         f" -> {'EXACT' if report.exact else 'MISMATCH'}"
     )
+    if args.record:
+        from repro.analysis import write_run_record
+
+        record = mlp_run_record(
+            engine, sim, dims=dims, pr=args.pr, pc=args.pc,
+            batch=args.batch, steps=args.steps,
+            meta={"experiment": args.experiment},
+        )
+        write_run_record(record, args.record)
+        print(f"record  : wrote {args.record}")
     if args.out:
         trace_path = f"{args.out.rstrip('/')}/trace.json"
         obj = write_chrome_trace(
             events, trace_path, title=f"repro trace {args.experiment}"
         )
-        n = validate_chrome_trace(obj)
-        print(f"chrome  : wrote {n} events to {trace_path} (load in Perfetto)")
+        n_ev = validate_chrome_trace(obj)
+        print(f"chrome  : wrote {n_ev} events to {trace_path} (load in Perfetto)")
         export_results(report.to_table(), args.out, "audit")
+        export_results(accounting.to_table(), args.out, "accounting")
+        export_results(cp.to_table(), args.out, "critical_path")
         export_metrics(registry, args.out)
         export_results(span_summary(events, per_rank=True), args.out, "spans")
     if args.assert_exact and not report.exact:
         print("audit mismatch: measured traffic deviates from the cost model",
               file=sys.stderr)
         return 1
+    return 0
+
+
+def _run_diff(args) -> int:
+    from repro.analysis import DiffThresholds, diff_records, read_run_record
+    from repro.errors import ConfigurationError
+
+    try:
+        baseline = read_run_record(args.baseline)
+    except (OSError, ValueError, ConfigurationError) as exc:
+        print(f"cannot read baseline {args.baseline!r}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        current = read_run_record(args.current)
+    except (OSError, ValueError, ConfigurationError) as exc:
+        print(f"cannot read current {args.current!r}: {exc}", file=sys.stderr)
+        return 2
+    defaults = DiffThresholds()
+    thresholds = DiffThresholds(
+        time_rel=args.time_tol if args.time_tol is not None else defaults.time_rel,
+        bytes_rel=(
+            args.bytes_tol if args.bytes_tol is not None else defaults.bytes_rel
+        ),
+        msgs_rel=args.msgs_tol if args.msgs_tol is not None else defaults.msgs_rel,
+    )
+    try:
+        report = diff_records(baseline, current, thresholds=thresholds)
+    except ConfigurationError as exc:
+        print(f"diff error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"baseline: {args.baseline} ({baseline.trainer}, "
+        f"{baseline.grid['pr']}x{baseline.grid['pc']} grid, "
+        f"machine {baseline.machine.get('name', '?')})"
+    )
+    print(
+        f"current : {args.current} "
+        f"(machine {current.machine.get('name', '?')})"
+    )
+    if current.dropped:
+        print(
+            f"WARNING : current record dropped {current.dropped} trace events; "
+            "its totals are lower bounds",
+            file=sys.stderr,
+        )
+    print()
+    print(report.to_table().to_ascii())
+    if report.regressed:
+        for regression in report.regressions:
+            print(f"REGRESSION: {regression}", file=sys.stderr)
+        return 1
+    print(
+        f"gate    : PASS ({report.compared} quantities within "
+        f"time {thresholds.time_rel:.0%} / bytes {thresholds.bytes_rel:.0%} / "
+        f"msgs {thresholds.msgs_rel:.0%})"
+    )
     return 0
 
 
@@ -531,6 +693,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_faults(args)
     if args.command == "trace":
         return _run_trace(args)
+    if args.command == "diff":
+        return _run_diff(args)
     # run
     ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for experiment_id in ids:

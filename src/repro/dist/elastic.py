@@ -51,6 +51,7 @@ __all__ = [
     "replan_grid",
     "elastic_mlp_program",
     "elastic_mlp_train",
+    "elastic_run_record",
 ]
 
 
@@ -367,4 +368,49 @@ def elastic_mlp_train(
         grids=list(grids),
         restore_steps=list(restores),
         engine=engine,
+    )
+
+
+def elastic_run_record(
+    result: ElasticResult,
+    *,
+    batch: int,
+    steps: int,
+    checkpoint_every: int = 2,
+    meta=None,
+):
+    """Build the :class:`~repro.analysis.record.RunRecord` of an elastic run.
+
+    The grid recorded is the *initial* ``Pr x Pc`` shape; the grid
+    history and restore steps travel in the record's ``meta`` block
+    (they describe the fault scenario, not the comparable
+    configuration).  Requires the run to have been traced.
+    """
+    from repro.analysis.record import build_run_record
+
+    dims = (result.weights[0].shape[1],) + tuple(
+        w.shape[0] for w in result.weights
+    )
+    pr, pc = result.grids[0]
+    merged = {
+        "grids": [list(g) for g in result.grids],
+        "restore_steps": list(result.restore_steps),
+        "failed_ranks": list(result.sim.failed),
+    }
+    merged.update(meta or {})
+    return build_run_record(
+        result.engine.tracer.canonical(),
+        trainer="elastic",
+        config={
+            "dims": [int(d) for d in dims],
+            "batch": int(batch),
+            "steps": int(steps),
+            "checkpoint_every": int(checkpoint_every),
+        },
+        pr=pr,
+        pc=pc,
+        clocks=result.sim.clocks,
+        machine=result.engine.network.machine,
+        dropped=result.engine.tracer.dropped,
+        meta=merged,
     )

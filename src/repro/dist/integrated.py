@@ -46,6 +46,7 @@ __all__ = [
     "CNNParams",
     "serial_cnn_train",
     "distributed_cnn_train",
+    "cnn_run_record",
 ]
 
 
@@ -409,6 +410,7 @@ def distributed_cnn_train(
     machine=None,
     trace: bool = False,
     metrics=None,
+    engine=None,
 ) -> Tuple[CNNParams, List[float], SimResult]:
     """Integrated training on a ``pr x pc`` grid; returns full params.
 
@@ -420,7 +422,12 @@ def distributed_cnn_train(
         raise ConfigurationError(
             f"batch {batch} must divide evenly over Pc={pc} for this trainer"
         )
-    engine = SimEngine(pr * pc, machine, trace=trace, metrics=metrics)
+    if engine is None:
+        engine = SimEngine(pr * pc, machine, trace=trace, metrics=metrics)
+    elif engine.size != pr * pc:
+        raise ConfigurationError(
+            f"engine has {engine.size} ranks, grid needs {pr * pc}"
+        )
     result = engine.run(
         _cnn_train_program,
         config,
@@ -446,3 +453,41 @@ def distributed_cnn_train(
         fc_ws.append(np.vstack(blocks))
     losses = list(result.values[0][2])
     return CNNParams(conv_ws, fc_ws), losses, result
+
+
+def cnn_run_record(
+    engine,
+    sim: SimResult,
+    *,
+    config: IntegratedCNNConfig,
+    pr: int,
+    pc: int,
+    batch: int,
+    steps: int,
+    meta=None,
+):
+    """Build the :class:`~repro.analysis.record.RunRecord` of a traced run.
+
+    ``config`` is summarized into JSON-safe comparable fields (conv
+    stack shape plus FC dims); the trace is read in canonical order so
+    the record is deterministic.
+    """
+    from repro.analysis.record import build_run_record
+
+    return build_run_record(
+        engine.tracer.canonical(),
+        trainer="integrated",
+        config={
+            "image": [int(config.in_channels), int(config.height), int(config.width)],
+            "conv_channels": [int(c) for c in config.conv_channels],
+            "fc_dims": [int(d) for d in config.fc_dims],
+            "batch": int(batch),
+            "steps": int(steps),
+        },
+        pr=pr,
+        pc=pc,
+        clocks=sim.clocks,
+        machine=engine.network.machine,
+        dropped=engine.tracer.dropped,
+        meta=meta,
+    )

@@ -32,7 +32,12 @@ from repro.dist.partition import BlockPartition
 from repro.errors import PartitionError, ShapeError
 from repro.telemetry.spans import span
 
-__all__ = ["distribute_2d", "summa_stationary_c", "summa_matmul"]
+__all__ = [
+    "distribute_2d",
+    "summa_stationary_c",
+    "summa_matmul",
+    "summa_run_record",
+]
 
 
 def distribute_2d(
@@ -121,4 +126,37 @@ def summa_matmul(comm, a: np.ndarray, b: np.ndarray, pr: int, pc: int) -> np.nda
     b_local = distribute_2d(b, grid)
     return summa_stationary_c(
         grid, a_local, b_local, a.shape[0], a.shape[1], b.shape[1]
+    )
+
+
+def summa_run_record(
+    engine,
+    sim,
+    *,
+    m: int,
+    k: int,
+    n: int,
+    pr: int,
+    pc: int,
+    meta=None,
+):
+    """Build the :class:`~repro.analysis.record.RunRecord` of a traced SUMMA.
+
+    ``engine``/``sim`` come from running :func:`summa_matmul` (or
+    :func:`summa_stationary_c`) on a tracing
+    :class:`~repro.simmpi.engine.SimEngine`; the ``(m, k, n)`` problem
+    shape is the comparable configuration.
+    """
+    from repro.analysis.record import build_run_record
+
+    return build_run_record(
+        engine.tracer.canonical(),
+        trainer="summa2d",
+        config={"m": int(m), "k": int(k), "n": int(n)},
+        pr=pr,
+        pc=pc,
+        clocks=sim.clocks,
+        machine=engine.network.machine,
+        dropped=engine.tracer.dropped,
+        meta=meta,
     )

@@ -31,6 +31,7 @@ __all__ = [
     "serial_mlp_train",
     "mlp_train_program",
     "distributed_mlp_train",
+    "mlp_run_record",
 ]
 
 
@@ -234,6 +235,7 @@ def distributed_mlp_train(
     machine=None,
     trace: bool = False,
     metrics=None,
+    engine: Optional[SimEngine] = None,
 ) -> Tuple[List[np.ndarray], List[float], SimResult]:
     """Train on a simulated ``pr x pc`` grid; returns full weights, losses, run.
 
@@ -241,11 +243,18 @@ def distributed_mlp_train(
     every rank); the weights are reassembled from the rank blocks.
     ``metrics`` optionally attaches a
     :class:`~repro.telemetry.metrics.MetricsRegistry` as the engine's
-    streaming event sink.
+    streaming event sink.  Passing a prebuilt ``engine`` (which must
+    have ``pr * pc`` ranks) lets callers keep the tracer handle — e.g.
+    to build a :class:`~repro.analysis.record.RunRecord` afterwards.
     """
     if batch % 1:
         raise ConfigurationError("batch must be an integer")
-    engine = SimEngine(pr * pc, machine, trace=trace, metrics=metrics)
+    if engine is None:
+        engine = SimEngine(pr * pc, machine, trace=trace, metrics=metrics)
+    elif engine.size != pr * pc:
+        raise ConfigurationError(
+            f"engine has {engine.size} ranks, grid needs {pr * pc}"
+        )
     result = engine.run(
         mlp_train_program,
         params0,
@@ -264,3 +273,39 @@ def distributed_mlp_train(
     weights = assemble_weights(result, params0.dims, pr, pc)
     losses = list(result.values[0][1])
     return weights, losses, result
+
+
+def mlp_run_record(
+    engine: SimEngine,
+    sim: SimResult,
+    *,
+    dims: Sequence[int],
+    pr: int,
+    pc: int,
+    batch: int,
+    steps: int,
+    meta=None,
+):
+    """Build the :class:`~repro.analysis.record.RunRecord` of a traced run.
+
+    ``engine`` must be the (tracing) engine the run executed on and
+    ``sim`` its result; the trace is read in canonical (replay-stable)
+    order so the record is deterministic for a given program.
+    """
+    from repro.analysis.record import build_run_record
+
+    return build_run_record(
+        engine.tracer.canonical(),
+        trainer="train",
+        config={
+            "dims": list(int(d) for d in dims),
+            "batch": int(batch),
+            "steps": int(steps),
+        },
+        pr=pr,
+        pc=pc,
+        clocks=sim.clocks,
+        machine=engine.network.machine,
+        dropped=engine.tracer.dropped,
+        meta=meta,
+    )

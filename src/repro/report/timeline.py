@@ -20,6 +20,7 @@ __all__ = [
     "render_fault_log",
     "render_span_timeline",
     "traffic_matrix",
+    "render_traffic_matrix",
 ]
 
 
@@ -167,3 +168,56 @@ def traffic_matrix(events: Sequence[TraceEvent]) -> Dict[int, Dict[int, int]]:
         matrix.setdefault(e.rank, {})
         matrix[e.rank][e.peer] = matrix[e.rank].get(e.peer, 0) + e.nbytes
     return matrix
+
+
+#: Shading ramp for the traffic heatmap, lightest to darkest.
+_SHADES = " .:-=+*#%@"
+
+
+def render_traffic_matrix(
+    matrix: Dict[int, Dict[int, int]], *, ranks: Optional[Sequence[int]] = None
+) -> str:
+    """Rank-by-rank heatmap of :func:`traffic_matrix` bytes.
+
+    One row per source rank, one column per destination; each cell
+    shows kibibytes sent with a shade character scaled to the busiest
+    pair, so ring pipelines, Bruck butterflies and halo stencils are
+    recognizable at a glance.  ``ranks`` fixes the axis ordering (and
+    can include silent ranks); by default every rank that appears as a
+    source or destination gets a row and column.
+    """
+    if ranks is None:
+        seen = set(matrix)
+        for row in matrix.values():
+            seen.update(row)
+        ranks = sorted(seen)
+    ranks = list(ranks)
+    if not ranks:
+        return "(no point-to-point traffic recorded)"
+    peak = max(
+        (matrix.get(src, {}).get(dst, 0) for src in ranks for dst in ranks),
+        default=0,
+    )
+    if peak == 0:
+        return "(no point-to-point traffic recorded)"
+    cell_w = max(8, len(str(max(ranks))) + 2)
+    header = "src\\dst |" + "".join(f"{dst:>{cell_w}}" for dst in ranks)
+    lines = [
+        f"traffic matrix: bytes sent per (src, dst) pair, peak {peak} B",
+        header,
+        "-" * len(header),
+    ]
+    for src in ranks:
+        cells = []
+        for dst in ranks:
+            nbytes = matrix.get(src, {}).get(dst, 0)
+            if nbytes == 0:
+                cells.append(f"{'.':>{cell_w}}")
+            else:
+                shade = _SHADES[
+                    max(1, min(len(_SHADES) - 1, int(len(_SHADES) * nbytes / peak)))
+                ]
+                cells.append(f"{shade}{nbytes / 1024:>{cell_w - 1}.1f}")
+        lines.append(f"{src:>7} |" + "".join(cells))
+    lines.append(f"(cells are KiB; shade {_SHADES[1:]} scales with bytes)")
+    return "\n".join(lines)

@@ -98,6 +98,9 @@ class AuditReport:
     pc: int
     batch: int
     steps: int
+    #: Events dropped from the tracer's ring buffer while recording;
+    #: non-zero means every measured figure is a lower bound.
+    dropped: int = 0
 
     @property
     def max_bandwidth_rel_error(self) -> float:
@@ -113,9 +116,16 @@ class AuditReport:
         return self.max_bandwidth_rel_error == 0.0
 
     def to_table(self) -> ResultTable:
-        table = ResultTable(
+        from repro.telemetry.summary import dropped_warning
+
+        title = (
             f"communication audit: measured vs Eq. 8 "
-            f"({self.pr}x{self.pc} grid, B={self.batch}, per step, all ranks)",
+            f"({self.pr}x{self.pc} grid, B={self.batch}, per step, all ranks)"
+        )
+        if self.dropped:
+            title += f"  [{dropped_warning(self.dropped)}]"
+        table = ResultTable(
+            title,
             columns=[
                 "layer",
                 "category",
@@ -191,12 +201,15 @@ def audit_events(
     batch: int,
     steps: int,
     machine: Optional[MachineParams] = None,
+    dropped: int = 0,
 ) -> AuditReport:
     """Audit an existing trace of :func:`repro.dist.train.mlp_train_program`.
 
     ``dims`` are the MLP layer sizes the trace was produced with;
     measured totals are averaged over ``steps`` (they are identical
     every step) and compared against Eq. 8 for the same configuration.
+    ``dropped`` (the tracer's ring-buffer drop count) marks the report
+    as a lower bound — see :attr:`AuditReport.dropped`.
     """
     from repro.nn import mlp
 
@@ -232,7 +245,9 @@ def audit_events(
             f"trace contains phase traffic the cost model does not predict: "
             f"{sorted(stray)}"
         )
-    return AuditReport(tuple(terms), pr=pr, pc=pc, batch=batch, steps=steps)
+    return AuditReport(
+        tuple(terms), pr=pr, pc=pc, batch=batch, steps=steps, dropped=dropped
+    )
 
 
 def audit_mlp_15d(
@@ -267,6 +282,7 @@ def audit_mlp_15d(
     )
     events = engine.tracer.events
     report = audit_events(
-        events, dims, pr=pr, pc=pc, batch=batch, steps=steps, machine=machine
+        events, dims, pr=pr, pc=pc, batch=batch, steps=steps, machine=machine,
+        dropped=engine.tracer.dropped,
     )
     return report, events

@@ -9,14 +9,14 @@ terminal view; the Chrome export is the zoomable one.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.results import ResultTable
 from repro.report.tables import format_seconds
 from repro.simmpi.tracing import TraceEvent
 from repro.telemetry.spans import base_name
 
-__all__ = ["span_summary"]
+__all__ = ["span_summary", "span_totals", "dropped_warning"]
 
 
 def _phase_of(event: TraceEvent) -> Optional[str]:
@@ -24,16 +24,23 @@ def _phase_of(event: TraceEvent) -> Optional[str]:
     return base_name(event.span[-1]) if event.span else None
 
 
-def span_summary(
-    events: Sequence[TraceEvent], *, per_rank: bool = False
-) -> ResultTable:
-    """Summarize spans: count, virtual time, messages and bytes sent.
+def dropped_warning(dropped: int) -> str:
+    """The standard lower-bound warning for traces with dropped events."""
+    return (
+        f"WARNING: {dropped} events dropped from the trace ring buffer; "
+        "totals are lower bounds"
+    )
 
-    Span *time* comes from the ``"span"`` bracket events (innermost
-    attribution: a nested span's interval is also inside its parent, so
-    parent rows include child time just as a profiler's inclusive view
-    does).  Message/byte columns attribute each ``send`` to its
-    innermost enclosing span.
+
+def span_totals(
+    events: Sequence[TraceEvent], *, per_rank: bool = False
+) -> List[Dict[str, object]]:
+    """Raw per-span aggregates as JSON-safe rows (seconds unformatted).
+
+    One row per span name (or per ``(span, rank)`` with ``per_rank``)
+    with keys ``span``, ``count``, ``virtual_time_s``, ``sends`` and
+    ``bytes`` — the machine-readable side of :func:`span_summary`, used
+    by :mod:`repro.analysis.record`.
     """
     # key: (span name, rank or -1)
     time: Dict[Tuple[str, int], float] = {}
@@ -51,20 +58,46 @@ def span_summary(
         elif e.op == "send":
             msgs[key] = msgs.get(key, 0) + 1
             nbytes[key] = nbytes.get(key, 0) + e.nbytes
-    columns = ["span", "count", "virtual_time", "sends", "bytes"]
-    if per_rank:
-        columns.insert(1, "rank")
-    table = ResultTable("per-span summary", columns=columns)
     keys = sorted(set(time) | set(msgs), key=lambda k: (-time.get(k, 0.0), k[0], k[1]))
+    rows: List[Dict[str, object]] = []
     for key in keys:
-        row = {
+        row: Dict[str, object] = {
             "span": key[0],
             "count": count.get(key, 0),
-            "virtual_time": format_seconds(time.get(key, 0.0)),
+            "virtual_time_s": time.get(key, 0.0),
             "sends": msgs.get(key, 0),
             "bytes": nbytes.get(key, 0),
         }
         if per_rank:
             row["rank"] = key[1]
+        rows.append(row)
+    return rows
+
+
+def span_summary(
+    events: Sequence[TraceEvent], *, per_rank: bool = False, dropped: int = 0
+) -> ResultTable:
+    """Summarize spans: count, virtual time, messages and bytes sent.
+
+    Span *time* comes from the ``"span"`` bracket events (innermost
+    attribution: a nested span's interval is also inside its parent, so
+    parent rows include child time just as a profiler's inclusive view
+    does).  Message/byte columns attribute each ``send`` to its
+    innermost enclosing span.
+
+    ``dropped`` is the tracer's dropped-event count; a non-zero value
+    stamps the table title with a visible lower-bound warning so capped
+    ring-buffer traces are never mistaken for complete ones.
+    """
+    columns = ["span", "count", "virtual_time", "sends", "bytes"]
+    if per_rank:
+        columns.insert(1, "rank")
+    title = "per-span summary"
+    if dropped:
+        title += f"  [{dropped_warning(dropped)}]"
+    table = ResultTable(title, columns=columns)
+    for raw in span_totals(events, per_rank=per_rank):
+        row = dict(raw)
+        row["virtual_time"] = format_seconds(row.pop("virtual_time_s"))
         table.add_row(**row)
     return table

@@ -1,0 +1,123 @@
+"""Tests for RunRecord regression detection (repro diff)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    DiffThresholds,
+    Regression,
+    diff_records,
+)
+from repro.dist.train import MLPParams, distributed_mlp_train, mlp_run_record
+from repro.errors import ConfigurationError
+from repro.machine.params import cori_knl
+from repro.simmpi.engine import SimEngine
+
+DIMS = (12, 9, 5)
+
+
+def _record(machine=None, steps=2):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((DIMS[0], 32))
+    y = rng.integers(0, DIMS[-1], 32)
+    engine = SimEngine(4, machine, trace=True)
+    _, _, sim = distributed_mlp_train(
+        MLPParams.init(DIMS, seed=0), x, y,
+        pr=2, pc=2, batch=8, steps=steps, engine=engine,
+    )
+    return mlp_run_record(
+        engine, sim, dims=DIMS, pr=2, pc=2, batch=8, steps=steps
+    )
+
+
+BASELINE = _record()
+
+
+class TestCleanDiff:
+    def test_identical_runs_diff_clean(self):
+        report = diff_records(BASELINE, _record())
+        assert not report.regressed
+        assert report.compared > 10
+        assert "clean" in report.to_table().title
+
+    def test_faster_run_never_regresses(self):
+        slow = _record(machine=dataclasses.replace(
+            cori_knl(), alpha=cori_knl().alpha * 4
+        ))
+        report = diff_records(slow, BASELINE)
+        assert not report.regressed
+
+
+class TestRegressions:
+    def test_derated_machine_flags_spans(self):
+        m = cori_knl()
+        derated = dataclasses.replace(
+            m, alpha=m.alpha * 4, beta_per_byte=m.beta_per_byte * 2
+        )
+        report = diff_records(BASELINE, _record(machine=derated))
+        assert report.regressed
+        kinds = {r.kind for r in report.regressions}
+        assert "makespan" in kinds
+        assert "span-time" in kinds
+        assert "rank-wall" in kinds
+        # Bytes and message counts are machine-independent: no such rows.
+        assert "span-bytes" not in kinds
+        assert "span-sends" not in kinds
+
+    def test_huge_tolerance_silences_time_regressions(self):
+        m = cori_knl()
+        derated = dataclasses.replace(m, alpha=m.alpha * 1.5)
+        thresholds = DiffThresholds(time_rel=10.0)
+        report = diff_records(
+            BASELINE, _record(machine=derated), thresholds=thresholds
+        )
+        assert not report.regressed
+
+    def test_new_span_is_flagged(self):
+        current = dataclasses.replace(
+            BASELINE,
+            spans=BASELINE.spans + (
+                {"span": "surprise", "count": 1, "virtual_time_s": 1.0,
+                 "sends": 1, "bytes": 8},
+            ),
+        )
+        report = diff_records(BASELINE, current)
+        assert any(
+            r.kind == "span-new" and r.name == "surprise"
+            for r in report.regressions
+        )
+
+    def test_byte_growth_with_zero_tolerance(self):
+        spans = tuple(
+            {**r, "bytes": r["bytes"] + 1} if r["span"] == "step" else r
+            for r in BASELINE.spans
+        )
+        report = diff_records(BASELINE, dataclasses.replace(BASELINE, spans=spans))
+        assert any(r.kind == "span-bytes" for r in report.regressions)
+
+
+class TestUsageErrors:
+    def test_incomparable_configs_raise(self):
+        with pytest.raises(ConfigurationError, match="not comparable"):
+            diff_records(BASELINE, _record(steps=3))
+
+    def test_dropped_baseline_rejected(self):
+        lossy = dataclasses.replace(BASELINE, dropped=5)
+        with pytest.raises(ConfigurationError, match="dropped"):
+            diff_records(lossy, BASELINE)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiffThresholds(time_rel=-0.1)
+
+
+class TestRegressionRendering:
+    def test_str_and_rel_change(self):
+        r = Regression("span-time", "step", 1.0, 1.5)
+        assert r.rel_change == pytest.approx(0.5)
+        assert "step" in str(r) and "+50.0%" in str(r)
+
+    def test_growth_from_zero_is_infinite(self):
+        assert Regression("span-bytes", "s", 0.0, 8.0).rel_change == float("inf")

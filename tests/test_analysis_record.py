@@ -1,0 +1,209 @@
+"""Tests for versioned RunRecords: build, validate, round-trip, all trainers."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    RUN_RECORD_SCHEMA,
+    RunRecord,
+    build_run_record,
+    read_run_record,
+    validate_run_record,
+    write_run_record,
+)
+from repro.dist.elastic import elastic_mlp_train, elastic_run_record
+from repro.dist.integrated import (
+    CNNParams,
+    IntegratedCNNConfig,
+    cnn_run_record,
+    distributed_cnn_train,
+)
+from repro.dist.summa2d import summa_matmul, summa_run_record
+from repro.dist.train import MLPParams, distributed_mlp_train, mlp_run_record
+from repro.data.synthetic import synthetic_images
+from repro.errors import ConfigurationError
+from repro.simmpi.engine import SimEngine
+from repro.simmpi.faults import Crash, FaultPlan
+
+DIMS = (12, 9, 5)
+
+
+def _mlp_record(pr=2, pc=2, batch=8, steps=2, meta=None):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((DIMS[0], 4 * batch))
+    y = rng.integers(0, DIMS[-1], 4 * batch)
+    engine = SimEngine(pr * pc, trace=True)
+    _, _, sim = distributed_mlp_train(
+        MLPParams.init(DIMS, seed=0), x, y,
+        pr=pr, pc=pc, batch=batch, steps=steps, engine=engine,
+    )
+    return mlp_run_record(
+        engine, sim, dims=DIMS, pr=pr, pc=pc, batch=batch, steps=steps,
+        meta=meta,
+    )
+
+
+class TestBuildAndValidate:
+    def test_payload_validates(self):
+        record = _mlp_record()
+        validate_run_record(record.to_dict())  # must not raise
+
+    def test_counters_present(self):
+        record = _mlp_record()
+        for key in ("dag_nodes", "dag_edges", "critical_events",
+                    "idle_fraction", "imbalance", "straggler_rank"):
+            assert key in record.counters
+        assert record.counters["dag_nodes"] > 0
+
+    def test_critical_bounded_by_makespan(self):
+        record = _mlp_record()
+        assert record.critical["length_s"] <= record.makespan_s
+
+    def test_span_rows_shape(self):
+        record = _mlp_record()
+        names = [r["span"] for r in record.spans]
+        assert "step" in names
+        step = record.span_row("step")
+        assert step["count"] > 0 and step["virtual_time_s"] > 0
+        # Sends attribute to the innermost span (the collectives).
+        assert any(r["sends"] > 0 and r["bytes"] > 0 for r in record.spans)
+        assert record.span_row("no-such-span") is None
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_byte_identical(self):
+        record = _mlp_record(meta={"label": "a"})
+        text = record.to_json()
+        again = RunRecord.from_json(text)
+        assert again == record
+        assert again.to_json() == text
+
+    def test_file_round_trip(self, tmp_path):
+        record = _mlp_record()
+        path = write_run_record(record, str(tmp_path / "sub" / "rec.json"))
+        assert read_run_record(path) == record
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            read_run_record(str(tmp_path / "absent.json"))
+
+    def test_determinism_across_reruns(self):
+        assert _mlp_record().to_json() == _mlp_record().to_json()
+
+
+class TestValidatorRejects:
+    def _payload(self):
+        return _mlp_record().to_dict()
+
+    def test_wrong_schema(self):
+        payload = self._payload()
+        payload["schema"] = "repro.analysis.record/v999"
+        with pytest.raises(ConfigurationError, match="schema"):
+            validate_run_record(payload)
+
+    def test_missing_required_key(self):
+        payload = self._payload()
+        del payload["makespan_s"]
+        with pytest.raises(ConfigurationError, match="missing key"):
+            validate_run_record(payload)
+
+    def test_unknown_key(self):
+        payload = self._payload()
+        payload["extra"] = 1
+        with pytest.raises(ConfigurationError, match="unknown key"):
+            validate_run_record(payload)
+
+    def test_bad_grid(self):
+        payload = self._payload()
+        payload["grid"]["pr"] = 0
+        with pytest.raises(ConfigurationError, match="grid.pr"):
+            validate_run_record(payload)
+
+    def test_broken_decomposition(self):
+        payload = self._payload()
+        payload["ranks"][0]["compute_s"] += 1.0
+        with pytest.raises(ConfigurationError, match="wall"):
+            validate_run_record(payload)
+
+    def test_critical_exceeding_makespan(self):
+        payload = self._payload()
+        payload["critical"]["length_s"] = payload["makespan_s"] * 2 + 1.0
+        with pytest.raises(ConfigurationError, match="exceeds makespan"):
+            validate_run_record(payload)
+
+    def test_not_json(self):
+        with pytest.raises(ConfigurationError):
+            RunRecord.from_json("{nope")
+
+
+class TestConfigKey:
+    def test_machine_and_meta_excluded(self):
+        a = _mlp_record(meta={"commit": "abc"})
+        b = dataclasses.replace(
+            a, machine={**a.machine, "name": "other box"}, meta={}
+        )
+        assert a.config_key == b.config_key
+
+    def test_config_changes_key(self):
+        a = _mlp_record(steps=2)
+        b = _mlp_record(steps=3)
+        assert a.config_key != b.config_key
+
+
+class TestEveryTrainerEmits:
+    def test_train(self):
+        record = _mlp_record()
+        assert record.trainer == "train"
+        assert record.config["dims"] == list(DIMS)
+
+    def test_elastic_with_faults(self):
+        rng = np.random.default_rng(3)
+        dims = (8, 10, 6)
+        x = rng.standard_normal((dims[0], 32))
+        y = rng.integers(0, dims[-1], 32)
+        plan = FaultPlan(seed=3, crashes=(Crash(rank=1, at_step=3),))
+        result = elastic_mlp_train(
+            MLPParams.init(dims, seed=3), x, y, pr=2, pc=2, batch=8,
+            steps=6, checkpoint_every=2, faults=plan, trace=True,
+        )
+        record = elastic_run_record(result, batch=8, steps=6)
+        validate_run_record(record.to_dict())
+        assert record.trainer == "elastic"
+        assert record.grid == {"pr": 2, "pc": 2}
+        assert record.meta["failed_ranks"] == [1]
+        assert record.meta["grids"][0] == [2, 2]
+
+    def test_integrated(self):
+        cfg = IntegratedCNNConfig(
+            in_channels=2, height=8, width=8,
+            conv_channels=(4,), conv_kernels=(3,), pool_after=(True,),
+            fc_dims=(12, 5),
+        )
+        x, y = synthetic_images(16, 2, 8, 8, 5, seed=7)
+        engine = SimEngine(4, trace=True)
+        _, _, sim = distributed_cnn_train(
+            cfg, CNNParams.init(cfg, seed=3), x, y,
+            pr=2, pc=2, batch=8, steps=2, engine=engine,
+        )
+        record = cnn_run_record(
+            engine, sim, config=cfg, pr=2, pc=2, batch=8, steps=2
+        )
+        validate_run_record(record.to_dict())
+        assert record.trainer == "integrated"
+        assert record.config["image"] == [2, 8, 8]
+
+    def test_summa2d(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((8, 4))
+        b = rng.standard_normal((4, 6))
+        engine = SimEngine(4, trace=True)
+        sim = engine.run(summa_matmul, a, b, 2, 2)
+        record = summa_run_record(engine, sim, m=8, k=4, n=6, pr=2, pc=2)
+        validate_run_record(record.to_dict())
+        assert record.trainer == "summa2d"
+        assert record.config == {"m": 8, "k": 4, "n": 6}
+
+    def test_schema_tag(self):
+        assert _mlp_record().to_dict()["schema"] == RUN_RECORD_SCHEMA

@@ -244,6 +244,137 @@ class TestTrace:
         with pytest.raises(SystemExit):
             main(["trace", "--experiment", "nope"])
 
+    def test_trace_prints_analysis(self, capsys):
+        assert main(["trace"]) == 0
+        out = capsys.readouterr().out
+        assert "per-rank virtual-time accounting" in out
+        assert "critical path:" in out
+        assert "critical:" in out and "idle fraction" in out
+
+    def test_trace_traffic_heatmap(self, capsys):
+        assert main(["trace", "--traffic"]) == 0
+        out = capsys.readouterr().out
+        assert "traffic matrix" in out
+        assert "src\\dst" in out
+
+    def test_trace_record_round_trips(self, tmp_path, capsys):
+        from repro.analysis import read_run_record
+
+        path = tmp_path / "run.json"
+        assert main(["trace", "--record", str(path)]) == 0
+        assert "record  : wrote" in capsys.readouterr().out
+        record = read_run_record(str(path))
+        assert record.trainer == "train"
+        assert record.meta["experiment"] == "mlp"
+
+    def test_trace_exports_analysis_tables(self, tmp_path, capsys):
+        assert main(["trace", "--out", str(tmp_path)]) == 0
+        files = os.listdir(tmp_path)
+        assert "accounting.csv" in files
+        assert "critical_path.csv" in files
+
+    def test_trace_metrics_include_analysis_counters(self, tmp_path, capsys):
+        import json
+
+        assert main(["trace", "--out", str(tmp_path)]) == 0
+        with open(tmp_path / "metrics.json", "r", encoding="utf-8") as fh:
+            names = {row["metric"] for row in json.load(fh)["rows"]}
+        assert {
+            "analysis.dag_nodes", "analysis.dag_edges",
+            "analysis.critical_events", "analysis.critical_seconds",
+            "analysis.idle_fraction", "analysis.imbalance",
+        } <= names
+
+
+class TestDiff:
+    def _write_record(self, path, machine=None):
+        import dataclasses
+
+        import numpy as np
+
+        from repro.analysis import write_run_record
+        from repro.dist.train import (
+            MLPParams,
+            distributed_mlp_train,
+            mlp_run_record,
+        )
+        from repro.machine.params import cori_knl
+        from repro.simmpi.engine import SimEngine
+
+        dims = (12, 9, 5)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((dims[0], 32))
+        y = rng.integers(0, dims[-1], 32)
+        if machine == "derated":
+            m = cori_knl()
+            machine = dataclasses.replace(
+                m, alpha=m.alpha * 4, beta_per_byte=m.beta_per_byte * 2
+            )
+        engine = SimEngine(4, machine, trace=True)
+        _, _, sim = distributed_mlp_train(
+            MLPParams.init(dims, seed=0), x, y,
+            pr=2, pc=2, batch=8, steps=2, engine=engine,
+        )
+        write_run_record(
+            mlp_run_record(engine, sim, dims=dims, pr=2, pc=2, batch=8, steps=2),
+            str(path),
+        )
+
+    def test_identical_records_exit_0(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write_record(a)
+        self._write_record(b)
+        assert main(["diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s) -> clean" in out
+        assert "gate    : PASS" in out
+
+    def test_derated_machine_exits_1(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write_record(a)
+        self._write_record(b, machine="derated")
+        assert main(["diff", str(a), str(b)]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out
+        assert "REGRESSION: makespan" in captured.err
+        assert "span-time" in captured.err
+
+    def test_loose_tolerance_tolerates_derating(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write_record(a)
+        self._write_record(b, machine="derated")
+        assert main(["diff", str(a), str(b), "--time-tol", "50"]) == 0
+
+    def test_missing_baseline_exits_2(self, tmp_path, capsys):
+        b = tmp_path / "b.json"
+        self._write_record(b)
+        assert main(["diff", str(tmp_path / "nope.json"), str(b)]) == 2
+        assert "cannot read baseline" in capsys.readouterr().err
+
+    def test_corrupt_current_exits_2(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        self._write_record(a)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["diff", str(a), str(bad)]) == 2
+        assert "cannot read current" in capsys.readouterr().err
+
+    def test_perturbed_record_exits_1(self, tmp_path, capsys):
+        """The CI failure mode: a hand-perturbed record must fail the gate."""
+        import json
+
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        self._write_record(a)
+        payload = json.loads(a.read_text())
+        payload["makespan_s"] *= 1.5
+        payload["critical"]["length_s"] = payload["makespan_s"]
+        for row in payload["ranks"]:
+            row["compute_s"] += payload["makespan_s"] - row["wall_s"]
+            row["wall_s"] = payload["makespan_s"]
+        b.write_text(json.dumps(payload))
+        assert main(["diff", str(a), str(b)]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
 
 class TestParser:
     def test_requires_command(self):
@@ -287,6 +418,16 @@ class TestFaults:
         out = capsys.readouterr().out
         assert "#=in span" in out
         assert "recovery" in out
+
+    def test_faults_record_round_trips(self, tmp_path, capsys):
+        from repro.analysis import read_run_record
+
+        path = tmp_path / "faults.json"
+        assert main(["faults", "--steps", "6", "--record", str(path)]) == 0
+        assert "record  : wrote" in capsys.readouterr().out
+        record = read_run_record(str(path))
+        assert record.trainer == "elastic"
+        assert record.meta["failed_ranks"] == [1]
 
     def test_faults_no_fault_plan_runs_clean(self, tmp_path, capsys):
         from repro.simmpi.faults import FaultPlan

@@ -1,0 +1,146 @@
+"""Tests for the ASCII trace renderers in repro.report.timeline."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.report.timeline import (
+    render_fault_log,
+    render_span_timeline,
+    render_timeline,
+    render_traffic_matrix,
+    traffic_matrix,
+)
+from repro.simmpi.tracing import TraceEvent
+
+
+def _ev(rank, op, peer, t0, t1, nbytes=8, tag=(), span=()):
+    return TraceEvent(
+        rank=rank, op=op, peer=peer, nbytes=nbytes,
+        t_start=t0, t_end=t1, tag=tag, span=span,
+    )
+
+
+P2P = (
+    _ev(0, "send", 1, 0.0, 0.1),
+    _ev(0, "recv", 1, 0.1, 6.0),
+    _ev(1, "recv", 0, 0.0, 3.0),
+    _ev(1, "send", 0, 4.5, 4.6),
+)
+
+FAULTS = (
+    _ev(0, "fault.crash", -1, 2.0, 2.0),
+    _ev(1, "fault.transient", 0, 1.0, 1.0),
+    _ev(1, "fault.recovery", -1, 4.0, 4.0, tag=(3,)),
+)
+
+
+class TestRenderTimeline:
+    def test_rows_and_marks(self):
+        out = render_timeline(P2P, width=24)
+        lines = out.splitlines()
+        assert "rank   0 |" in lines[1]
+        assert "rank   1 |" in lines[2]
+        # rank 0's send and recv share the first column -> "x"; rank 1's
+        # send lands after its recv interval -> separate marks.
+        assert "x" in lines[1] and "r" in lines[1]
+        assert "r" in lines[2] and "s" in lines[2]
+
+    def test_fault_overprint(self):
+        out = render_timeline(P2P + FAULTS, width=24)
+        assert "!" in out
+
+    def test_empty_trace_placeholder(self):
+        assert "no point-to-point" in render_timeline(())
+
+    def test_width_validated(self):
+        with pytest.raises(ConfigurationError):
+            render_timeline(P2P, width=5)
+
+    def test_explicit_rank_order(self):
+        out = render_timeline(P2P, width=24, ranks=[1, 0])
+        lines = out.splitlines()
+        assert lines[1].startswith("rank   1")
+
+
+class TestRenderFaultLog:
+    def test_chronological_lines(self):
+        out = render_fault_log(P2P + FAULTS)
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert "transient" in lines[0]
+        assert "crash" in lines[1]
+        assert "recovery" in lines[2] and "3 survivors" in lines[2]
+
+    def test_no_faults_placeholder(self):
+        assert "no fault events" in render_fault_log(P2P)
+
+
+class TestRenderSpanTimeline:
+    SPANS = (
+        _ev(0, "span", -1, 0.0, 2.0, span=("step[step=0]",)),
+        _ev(0, "span", -1, 2.0, 4.0, span=("step[step=1]",)),
+        _ev(1, "span", -1, 0.0, 4.0, span=("step[step=0]",)),
+    )
+
+    def test_rows_per_rank_and_span(self):
+        out = render_span_timeline(self.SPANS, width=20)
+        assert "rank 0 step" in out
+        assert "rank 1 step" in out
+        assert "#" in out
+
+    def test_no_spans_placeholder(self):
+        assert "no spans recorded" in render_span_timeline(P2P)
+
+    def test_width_validated(self):
+        with pytest.raises(ConfigurationError):
+            render_span_timeline(self.SPANS, width=2)
+
+    def test_fault_overprint(self):
+        out = render_span_timeline(self.SPANS + FAULTS[:1], width=20)
+        assert "!" in out
+
+
+class TestTrafficMatrix:
+    def test_bytes_per_pair(self):
+        m = traffic_matrix(P2P + (_ev(0, "send", 1, 6.0, 6.1, nbytes=24),))
+        assert m[0][1] == 32
+        assert m[1][0] == 8
+
+    def test_collectives_and_faults_ignored(self):
+        events = (_ev(0, "allreduce", -1, 0.0, 1.0), FAULTS[0])
+        assert traffic_matrix(events) == {}
+
+
+class TestRenderTrafficMatrix:
+    def test_heatmap_shape(self):
+        out = render_traffic_matrix(traffic_matrix(P2P))
+        lines = out.splitlines()
+        assert "src\\dst" in lines[1]
+        assert lines[1].count("|") == 1
+        # One row per rank appearing as source or destination.
+        assert any(line.strip().startswith("0 |") for line in lines)
+        assert any(line.strip().startswith("1 |") for line in lines)
+
+    def test_zero_cells_render_dots(self):
+        out = render_traffic_matrix({0: {1: 1024}})
+        # The (0, 0) and diagonal cells carry no traffic.
+        assert "." in out
+        assert "1.0" in out  # 1024 bytes = 1.0 KiB
+
+    def test_peak_gets_darkest_shade(self):
+        out = render_traffic_matrix({0: {1: 10240, 2: 512}})
+        assert "@" in out
+
+    def test_small_nonzero_cell_still_shaded(self):
+        out = render_traffic_matrix({0: {1: 1, 2: 10_000_000}})
+        row = next(line for line in out.splitlines() if line.strip().startswith("0 |"))
+        # The tiny cell must not be blank: the lightest shade is ".".
+        assert row.count(".") >= 1
+
+    def test_empty_placeholder(self):
+        assert "no point-to-point" in render_traffic_matrix({})
+        assert "no point-to-point" in render_traffic_matrix({0: {}})
+
+    def test_explicit_ranks_add_silent_rows(self):
+        out = render_traffic_matrix({0: {1: 64}}, ranks=[0, 1, 2])
+        assert sum(1 for line in out.splitlines() if "|" in line) == 1 + 3

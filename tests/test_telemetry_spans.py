@@ -119,3 +119,40 @@ class TestEngineIntegration:
         assert sim_off.clocks == sim_on.clocks  # exact, not approximate
         for a, b in zip(w_off, w_on):
             assert np.array_equal(a, b)
+
+    def test_analysis_is_observability_only(self):
+        """Running the full analysis stack never perturbs the run.
+
+        A traced run analysed with accounting + critical path + record
+        building must keep bit-identical weights, losses and virtual
+        clocks to an untraced run of the same program — the trace is a
+        read-only view, and the analysis a pure consumer of it.
+        """
+        from repro.analysis import critical_path, rank_accounting
+        from repro.dist.train import mlp_run_record
+        from repro.simmpi.engine import SimEngine
+
+        dims = (12, 8, 6)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((dims[0], 32))
+        y = rng.integers(0, dims[-1], 32)
+        params0 = MLPParams.init(dims, seed=0)
+        kw = dict(pr=2, pc=2, batch=8, steps=3)
+        w_off, losses_off, sim_off = distributed_mlp_train(
+            params0, x, y, **kw
+        )
+        engine = SimEngine(4, trace=True)
+        w_on, losses_on, sim_on = distributed_mlp_train(
+            params0, x, y, engine=engine, **kw
+        )
+        events = engine.tracer.canonical()
+        rank_accounting(events, clocks=sim_on.clocks)
+        critical_path(events, clocks=sim_on.clocks)
+        record = mlp_run_record(engine, sim_on, dims=dims, **kw)
+        assert losses_off == losses_on
+        assert sim_off.clocks == sim_on.clocks
+        for a, b in zip(w_off, w_on):
+            assert np.array_equal(a, b)
+        # The analyses left the trace untouched and agree with the run.
+        assert engine.tracer.canonical() == events
+        assert record.makespan_s == max(sim_off.clocks)
