@@ -14,6 +14,19 @@ unknown versions instead of misinterpreting them, and
 :func:`validate_run_record` checks the structural invariants every
 consumer relies on (required keys, types, per-rank decomposition
 consistency).
+
+Version history
+---------------
+``v1``
+    Original schema.  Still readable (:data:`SUPPORTED_SCHEMAS`), so
+    committed baselines keep working under ``repro diff``.
+``v2``
+    Adds the optional ``sdc`` block: silent-data-corruption counters
+    (``injected`` / ``detected`` / ``corrected`` / ``recomputed`` /
+    ``escaped``) plus the total digest-escort bytes of ABFT-guarded
+    runs, derived from the ``fault.*`` trace events.  Absent entirely
+    for runs with no SDC activity, so unguarded records are
+    byte-identical to v1 modulo the schema tag.
 """
 
 from __future__ import annotations
@@ -28,6 +41,8 @@ from repro.simmpi.tracing import TraceEvent
 
 __all__ = [
     "RUN_RECORD_SCHEMA",
+    "SUPPORTED_SCHEMAS",
+    "SDC_COUNTER_KEYS",
     "RunRecord",
     "validate_run_record",
     "build_run_record",
@@ -35,7 +50,14 @@ __all__ = [
     "write_run_record",
 ]
 
-RUN_RECORD_SCHEMA = "repro.analysis.record/v1"
+RUN_RECORD_SCHEMA = "repro.analysis.record/v2"
+
+#: Schemas this reader accepts; new records are always written at the
+#: current version, old baselines stay loadable.
+SUPPORTED_SCHEMAS = ("repro.analysis.record/v1", RUN_RECORD_SCHEMA)
+
+#: The v2 ``sdc`` block's counter keys (all non-negative integers).
+SDC_COUNTER_KEYS = ("injected", "detected", "corrected", "recomputed", "escaped")
 
 #: key -> (required, type check) for the top-level payload.
 _TOP_LEVEL: Dict[str, Tuple[bool, type]] = {
@@ -50,6 +72,7 @@ _TOP_LEVEL: Dict[str, Tuple[bool, type]] = {
     "critical": (True, dict),
     "counters": (True, dict),
     "dropped": (True, int),
+    "sdc": (False, dict),
     "meta": (False, dict),
 }
 
@@ -71,9 +94,9 @@ def validate_run_record(payload: Any) -> None:
     """
     if not isinstance(payload, dict):
         raise ConfigurationError("run record must be a JSON object")
-    if payload.get("schema") != RUN_RECORD_SCHEMA:
+    if payload.get("schema") not in SUPPORTED_SCHEMAS:
         raise ConfigurationError(
-            f"run record schema must be {RUN_RECORD_SCHEMA!r}, "
+            f"run record schema must be one of {SUPPORTED_SCHEMAS!r}, "
             f"got {payload.get('schema')!r}"
         )
     for key, (required, types) in _TOP_LEVEL.items():
@@ -112,6 +135,13 @@ def validate_run_record(payload: Any) -> None:
                 f"ranks[{i}]: compute + comm + wait != wall "
                 f"(residual {residual:.3e})"
             )
+    for key, value in payload.get("sdc", {}).items():
+        if key not in SDC_COUNTER_KEYS and key != "guard_bytes":
+            raise ConfigurationError(f"sdc block has unknown counter {key!r}")
+        if not isinstance(value, int) or value < 0:
+            raise ConfigurationError(
+                f"sdc.{key} must be a non-negative integer, got {value!r}"
+            )
     critical = payload["critical"]
     if not isinstance(critical.get("length_s"), (int, float)):
         raise ConfigurationError("critical.length_s must be a number")
@@ -137,6 +167,9 @@ class RunRecord:
     counters: Dict[str, Any]
     dropped: int = 0
     meta: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: SDC counters of a fault-injected / ABFT-guarded run (v2);
+    #: empty — and omitted from the payload — when nothing happened.
+    sdc: Dict[str, int] = dataclasses.field(default_factory=dict)
 
     @property
     def config_key(self) -> Tuple:
@@ -168,6 +201,8 @@ class RunRecord:
             "counters": dict(self.counters),
             "dropped": self.dropped,
         }
+        if self.sdc:
+            payload["sdc"] = dict(self.sdc)
         if self.meta:
             payload["meta"] = dict(self.meta)
         return payload
@@ -192,6 +227,7 @@ class RunRecord:
             counters=dict(payload["counters"]),
             dropped=int(payload["dropped"]),
             meta=dict(payload.get("meta", {})),
+            sdc={k: int(v) for k, v in payload.get("sdc", {}).items()},
         )
 
     @classmethod
@@ -233,6 +269,11 @@ def build_run_record(
     packages their machine-readable digests together with the run's
     configuration.  ``config`` must be JSON-serializable; ``meta`` is a
     free-form block (labels, commit ids) excluded from comparability.
+
+    When the trace shows SDC activity (injected bit flips or ABFT
+    digest escorts), the v2 ``sdc`` block is derived from the
+    ``fault.*`` events; clean unguarded traces produce no block at
+    all, keeping their payloads comparable with v1 baselines.
     """
     from repro.analysis.accounting import rank_accounting
     from repro.analysis.critical import critical_path
@@ -248,6 +289,25 @@ def build_run_record(
         "imbalance": accounting.imbalance,
         "straggler_rank": accounting.straggler_rank,
     }
+    ops = [e.op for e in events]
+    injected = ops.count("fault.bitflip")
+    detected = ops.count("fault.sdc_detected")
+    guard_bytes = sum(e.guard_bytes for e in events if e.op == "send")
+    sdc: Dict[str, int] = {}
+    if injected or guard_bytes:
+        sdc = {
+            "injected": injected,
+            "detected": detected,
+            "corrected": ops.count("fault.sdc_corrected"),
+            # Recomputed GEMM blocks plus retransmitted payloads: both
+            # are "redo the work" recoveries.
+            "recomputed": (
+                ops.count("fault.sdc_recomputed") + ops.count("fault.sdc_retransmit")
+            ),
+            # A flip nobody detected escaped into the run silently.
+            "escaped": max(0, injected - detected),
+            "guard_bytes": guard_bytes,
+        }
     return RunRecord(
         trainer=trainer,
         config=dict(config),
@@ -260,6 +320,7 @@ def build_run_record(
         counters=counters,
         dropped=int(dropped),
         meta=dict(meta or {}),
+        sdc=sdc,
     )
 
 

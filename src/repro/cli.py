@@ -161,6 +161,44 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the run's versioned RunRecord JSON to this path",
     )
+    faults_p.add_argument(
+        "--sdc",
+        default=None,
+        choices=["detect", "correct", "recompute"],
+        help="ABFT-guard the run against the plan's bit flips",
+    )
+
+    sdc_p = sub.add_parser(
+        "sdc",
+        help=(
+            "silent-data-corruption gauntlet: inject single bit flips into "
+            "every GEMM site and payload path, verify the ABFT guards "
+            "recover bit-identically (exit 0), detect without recovery "
+            "(exit 1), or let corruption escape (exit 2)"
+        ),
+    )
+    sdc_p.add_argument(
+        "--policy",
+        default="correct",
+        choices=["detect", "correct", "recompute"],
+        help="recovery policy for the guarded runs (default: correct)",
+    )
+    sdc_p.add_argument(
+        "--no-guard",
+        action="store_true",
+        help="run the gauntlet unguarded (negative control: flips escape)",
+    )
+    sdc_p.add_argument(
+        "--steps", type=int, default=3, help="training steps per run (default 3)"
+    )
+    sdc_p.add_argument(
+        "--seed", type=int, default=0, help="data/init seed (default 0)"
+    )
+    sdc_p.add_argument(
+        "--record",
+        default=None,
+        help="write the last run's versioned RunRecord JSON to this path",
+    )
 
     trace_p = sub.add_parser(
         "trace",
@@ -199,6 +237,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--record",
         default=None,
         help="write the run's versioned RunRecord JSON to this path",
+    )
+    trace_p.add_argument(
+        "--sdc",
+        default=None,
+        choices=["detect", "correct", "recompute"],
+        help=(
+            "run with ABFT guards on and audit their digest escorts as "
+            "explicit abft.* cost-model terms"
+        ),
     )
 
     diff_p = sub.add_parser(
@@ -393,6 +440,7 @@ def _run_faults(args) -> int:
 
     from repro.dist.elastic import elastic_mlp_train, replan_grid
     from repro.dist.train import MLPParams, serial_mlp_train
+    from repro.errors import ReproError
     from repro.machine.params import cori_knl
     from repro.report.timeline import (
         render_fault_log,
@@ -433,12 +481,19 @@ def _run_faults(args) -> int:
     print(
         f"plan    : {len(plan.crashes)} crash(es), {len(plan.transients)} "
         f"transient(s), {len(plan.drops)} drop(s), {len(plan.links)} link "
-        f"fault(s), {len(plan.stragglers)} straggler(s)  [seed {plan.seed}]"
+        f"fault(s), {len(plan.stragglers)} straggler(s), "
+        f"{len(plan.bitflips)} bit flip(s)  [seed {plan.seed}]"
     )
-    result = elastic_mlp_train(
-        params0, x, y, pr=pr, pc=pc, batch=batch, steps=args.steps,
-        checkpoint_every=2, faults=plan, trace=True,
-    )
+    if args.sdc:
+        print(f"guards  : ABFT on, policy {args.sdc!r}")
+    try:
+        result = elastic_mlp_train(
+            params0, x, y, pr=pr, pc=pc, batch=batch, steps=args.steps,
+            checkpoint_every=2, faults=plan, trace=True, sdc=args.sdc,
+        )
+    except ReproError as exc:
+        print(f"DEGRADED: run failed under the fault plan: {exc}", file=sys.stderr)
+        return 1
     events = result.engine.tracer.canonical()
     print()
     print("fault log:")
@@ -475,6 +530,132 @@ def _run_faults(args) -> int:
         for w, r in zip(result.weights, ref_params.weights)
     )
     print(f"max |w - serial|: {dev:.3e}")
+    # Exit granularity: 0 = clean or fully recovered (crashes absorbed by
+    # shrink/restore, bit flips detected and repaired); 1 = degraded — an
+    # injected flip nobody detected escaped into the weights.
+    ops = [e.op for e in events]
+    escaped = ops.count("fault.bitflip") - ops.count("fault.sdc_detected")
+    if escaped > 0:
+        print(
+            f"DEGRADED: {escaped} injected bit flip(s) escaped undetected "
+            "(run unguarded, or guard coverage missed the site)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+#: The ``repro sdc`` gauntlet's fault matrix: every GEMM site of the
+#: 1.5D trainer (forward, dX, dW; both layers) plus in-flight payload
+#: corruption, across ranks, steps and bit positions — including
+#: high-exponent bits whose escape is catastrophic when unguarded.
+_SDC_GAUNTLET = (
+    ("fwd/L0", dict(rank=0, target="matmul", layer=0, step=0, gemm="fwd", element=1, bit=3)),
+    ("fwd/L1", dict(rank=2, target="matmul", layer=1, step=1, gemm="fwd", element=5, bit=62)),
+    ("bwd_dx/L1", dict(rank=1, target="matmul", layer=1, step=2, gemm="bwd_dx", element=2, bit=31)),
+    ("bwd_dw/L0", dict(rank=3, target="matmul", layer=0, step=1, gemm="bwd_dw", element=7, bit=52)),
+    ("bwd_dw/L1", dict(rank=0, target="matmul", layer=1, step=0, gemm="bwd_dw", element=0, bit=62)),
+    ("payload/r0", dict(rank=0, target="payload", send_index=4, element=11, bit=40)),
+    ("payload/r1", dict(rank=1, target="payload", send_index=0, element=0, bit=62)),
+    ("payload/r3", dict(rank=3, target="payload", send_index=3, element=3, bit=50)),
+)
+
+
+def _run_sdc(args) -> int:
+    import numpy as np
+
+    from repro.dist.abft import make_guard
+    from repro.dist.train import MLPParams, distributed_mlp_train, mlp_run_record
+    from repro.errors import RankFailedError, SDCError
+    from repro.simmpi.engine import SimEngine
+    from repro.simmpi.faults import BitFlipFault, FaultPlan
+
+    dims = (12, 10, 8)
+    pr = pc = 2
+    batch = 8
+    rng = np.random.default_rng(args.seed)
+    x = rng.standard_normal((dims[0], 4 * batch))
+    y = rng.integers(0, dims[-1], 4 * batch)
+    params0 = MLPParams.init(dims, seed=args.seed)
+
+    def run(plan=None, guard=None):
+        engine = SimEngine(pr * pc, None, trace=True, faults=plan)
+        weights, _, sim = distributed_mlp_train(
+            params0, x, y, pr=pr, pc=pc, batch=batch, steps=args.steps,
+            engine=engine, sdc=guard,
+        )
+        return weights, engine, sim
+
+    clean, _, _ = run()
+    clean_bits = [w.tobytes() for w in clean]
+    guarded = not args.no_guard
+    print(
+        f"gauntlet: {len(_SDC_GAUNTLET)} single-bit-flip plans on a "
+        f"{pr}x{pc} grid, dims {dims}, {args.steps} steps, "
+        + (f"guards ON (policy {args.policy!r})" if guarded else "guards OFF")
+    )
+    outcomes = []
+    last = None
+    for name, spec in _SDC_GAUNTLET:
+        plan = FaultPlan(seed=args.seed, bitflips=(BitFlipFault(**spec),))
+        guard = make_guard(args.policy) if guarded else None
+        try:
+            weights, engine, sim = run(plan, guard)
+        except (RankFailedError, SDCError):
+            # The guard refused to continue (detect policy, or retries
+            # exhausted): corruption never reached the weights, but the
+            # run did not complete either.
+            outcomes.append((name, "detected-unrecovered"))
+            continue
+        injected = guard.monitor["injected"] if guard is not None else sum(
+            1 for e in engine.tracer.canonical() if e.op == "fault.bitflip"
+        )
+        identical = [w.tobytes() for w in weights] == clean_bits
+        if injected == 0:
+            outcome = "no-fire"
+        elif identical:
+            if guard is not None and guard.monitor["corrected"]:
+                outcome = "corrected"
+            elif guard is not None and guard.monitor["recomputed"]:
+                outcome = "recomputed"
+            else:
+                outcome = "benign"
+        else:
+            outcome = "escaped"
+        outcomes.append((name, outcome))
+        last = (engine, sim, guard)
+    width = max(len(n) for n, _ in outcomes)
+    for name, outcome in outcomes:
+        print(f"  {name:<{width}}  {outcome}")
+    if args.record and last is not None:
+        from repro.analysis import write_run_record
+
+        engine, sim, guard = last
+        record = mlp_run_record(
+            engine, sim, dims=dims, pr=pr, pc=pc, batch=batch,
+            steps=args.steps, sdc=guard, meta={"gauntlet": "sdc"},
+        )
+        write_run_record(record, args.record)
+        print(f"record  : wrote {args.record}")
+    kinds = {o for _, o in outcomes}
+    if "escaped" in kinds or "no-fire" in kinds:
+        print(
+            "VERDICT : corruption escaped into the weights "
+            "(or a plan failed to fire)",
+            file=sys.stderr,
+        )
+        return 2
+    if "detected-unrecovered" in kinds:
+        print(
+            "VERDICT : all corruption detected, but some runs could not "
+            "recover",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        "VERDICT : every injected flip was detected and recovered; all "
+        "final weights bit-identical to the clean run"
+    )
     return 0
 
 
@@ -509,6 +690,7 @@ def _run_trace(args) -> int:
     print(
         f"tracing : {args.experiment} dims={dims} on a {args.pr}x{args.pc} grid, "
         f"batch {args.batch}, {args.steps} step(s)"
+        + (f", SDC guards on ({args.sdc})" if args.sdc else "")
     )
     seed = 0
     n = 4 * args.batch
@@ -520,13 +702,13 @@ def _run_trace(args) -> int:
         _, _, sim = distributed_mlp_train(
             MLPParams.init(dims, seed=seed), x, y,
             pr=args.pr, pc=args.pc, batch=args.batch, steps=args.steps,
-            engine=engine,
+            engine=engine, sdc=args.sdc,
         )
         events = engine.tracer.canonical()
         dropped = engine.tracer.dropped
         report = audit_events(
             events, dims, pr=args.pr, pc=args.pc, batch=args.batch,
-            steps=args.steps, dropped=dropped,
+            steps=args.steps, dropped=dropped, sdc=args.sdc is not None,
         )
         accounting = rank_accounting(events, clocks=sim.clocks, dropped=dropped)
         cp = critical_path(events, clocks=sim.clocks, dropped=dropped)
@@ -570,7 +752,7 @@ def _run_trace(args) -> int:
 
         record = mlp_run_record(
             engine, sim, dims=dims, pr=args.pr, pc=args.pc,
-            batch=args.batch, steps=args.steps,
+            batch=args.batch, steps=args.steps, sdc=args.sdc,
             meta={"experiment": args.experiment},
         )
         write_run_record(record, args.record)
@@ -691,6 +873,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_bench(args)
     if args.command == "faults":
         return _run_faults(args)
+    if args.command == "sdc":
+        return _run_sdc(args)
     if args.command == "trace":
         return _run_trace(args)
     if args.command == "diff":

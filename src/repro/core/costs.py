@@ -23,6 +23,17 @@ Term categories
     Pairwise halo exchanges of boundary activations/gradients for
     domain-parallel layers (Eq. 7 and the ``LD`` sums of Eq. 9).  Zero
     for 1x1 convolutions, as the paper highlights.
+``abft.digest_fwd`` / ``abft.digest_dx`` / ``abft.digest_dw``
+    SDC-guard overhead (:func:`sdc_guard_cost_terms`): one 8-byte
+    checksum digest escorts every message of the corresponding
+    collective, so the per-process volume is exactly the per-rank send
+    count of the simulated algorithm (Bruck: ``ceil(log2 Pr)``, ring
+    all-reduce: ``2 (group - 1)``) at one element per message.
+``abft.checksum_fwd`` / ``abft.checksum_dx`` / ``abft.checksum_dw``
+    Local ABFT checksum folds over each guarded GEMM output block: two
+    64-bit XOR word operations per element (one row fold, one column
+    fold).  Pure local compute, so the time cost is zero under the
+    alpha-beta model; the volume records the work for flop accounting.
 
 All equations are implemented by the single general routine
 :func:`integrated_cost` (Eq. 9 with per-layer placements); the named
@@ -33,6 +44,7 @@ are property-tested to agree with the literal formulas.
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Dict, List, Tuple
 
 from repro.collectives.cost import (
@@ -55,14 +67,32 @@ __all__ = [
     "domain_parallel_cost",
     "integrated_mb_cost",
     "integrated_cost",
+    "sdc_guard_cost_terms",
     "BATCH_CATEGORIES",
     "MODEL_CATEGORIES",
     "DOMAIN_CATEGORIES",
+    "ABFT_CATEGORIES",
+    "ABFT_DIGEST_CATEGORY",
 ]
 
 BATCH_CATEGORIES = ("batch.allreduce_dw",)
 MODEL_CATEGORIES = ("model.allgather_fwd", "model.allreduce_dx")
 DOMAIN_CATEGORIES = ("domain.halo_fwd", "domain.halo_bwd")
+ABFT_CATEGORIES = (
+    "abft.digest_fwd",
+    "abft.digest_dx",
+    "abft.digest_dw",
+    "abft.checksum_fwd",
+    "abft.checksum_dx",
+    "abft.checksum_dw",
+)
+
+#: Guarded collective category -> the digest-escort category riding on it.
+ABFT_DIGEST_CATEGORY = {
+    "model.allgather_fwd": "abft.digest_fwd",
+    "model.allreduce_dx": "abft.digest_dx",
+    "batch.allreduce_dw": "abft.digest_dw",
+}
 
 
 @dataclasses.dataclass(frozen=True)
@@ -298,6 +328,89 @@ def integrated_cost(
     terms: List[CostTerm] = []
     for layer, placement in zip(network.weighted_layers, strategy.placements):
         terms.extend(layer_cost_terms(layer, placement, batch, strategy.grid, machine))
+    return CostBreakdown(tuple(terms))
+
+
+def sdc_guard_cost_terms(
+    network: NetworkSpec,
+    batch: float,
+    grid: ProcessGrid,
+    machine: MachineParams,
+) -> CostBreakdown:
+    """ABFT guard overhead of a 1.5D (Eq. 8) run with SDC guards on.
+
+    Two families of terms per weighted layer:
+
+    * ``abft.digest_*`` — every message of a guarded collective carries
+      an 8-byte XOR digest of its clean payload bits, so the per-rank
+      escort volume is the algorithm's send count (Bruck all-gather:
+      ``ceil(log2 Pr)``; ring all-reduce: ``2 (group - 1)``) at one
+      element per message, charged pure bandwidth (``beta`` per
+      element; the digest rides an existing message, adding no
+      latency).  Terms appear exactly when the underlying Eq. 8
+      collective exists, so the breakdown mirrors
+      :func:`integrated_mb_cost` term for term.
+    * ``abft.checksum_*`` — the row + column folds over each guarded
+      GEMM output block: two XOR word operations per block element.
+      Local compute is untimed in the alpha-beta model, so the cost is
+      zero and only the volume is informative.  The dX fold is skipped
+      for the first weighted layer (no gradient flows past it — the
+      same ``i = 2`` start as Eq. 8's sum).
+
+    The simulator realises these exact escorts
+    (:class:`~repro.simmpi.sdc.GuardedPayload`), which is what lets
+    :func:`repro.telemetry.audit.audit_events` close the guarded audit
+    at zero relative error instead of smearing digest traffic into the
+    data-volume terms.
+    """
+    if batch <= 0:
+        raise StrategyError(f"batch size must be positive, got {batch}")
+    pr, pc = grid.pr, grid.pc
+    local_batch = batch / pc
+    digest_msgs = {
+        "model.allgather_fwd": math.ceil(math.log2(pr)) if pr > 1 else 0,
+        "model.allreduce_dx": 2 * (pr - 1),
+        "batch.allreduce_dw": 2 * (pc - 1),
+    }
+    terms: List[CostTerm] = []
+    first_index = network.weighted_layers[0].index if network.weighted_layers else -1
+    for layer in network.weighted_layers:
+        first = layer.index == first_index
+        # Digest escorts mirror the Eq. 8 collectives of this layer.
+        if pr > 1:
+            msgs = digest_msgs["model.allgather_fwd"]
+            terms.append(
+                _term(
+                    layer, "abft.digest_fwd",
+                    CollectiveCost(0.0, machine.beta * msgs), float(msgs),
+                )
+            )
+            if not first:
+                msgs = digest_msgs["model.allreduce_dx"]
+                terms.append(
+                    _term(
+                        layer, "abft.digest_dx",
+                        CollectiveCost(0.0, machine.beta * msgs), float(msgs),
+                    )
+                )
+        if pc > 1:
+            msgs = digest_msgs["batch.allreduce_dw"]
+            terms.append(
+                _term(
+                    layer, "abft.digest_dw",
+                    CollectiveCost(0.0, machine.beta * msgs), float(msgs),
+                )
+            )
+        # Checksum folds over the three local GEMM output blocks.
+        d_out_local = layer.d_out / pr
+        fold_volumes = (
+            ("abft.checksum_fwd", 2.0 * d_out_local * local_batch),
+            ("abft.checksum_dx", None if first else 2.0 * layer.d_in * local_batch),
+            ("abft.checksum_dw", 2.0 * d_out_local * layer.d_in),
+        )
+        for category, volume in fold_volumes:
+            if volume is not None:
+                terms.append(_term(layer, category, CollectiveCost.zero(), volume))
     return CostBreakdown(tuple(terms))
 
 

@@ -23,6 +23,17 @@ halo shrinks to ``max(0, k_h - pad - s)`` rows — a stride-2 3x3
 convolution needs no bottom halo at all — an observation that extends
 the paper's stride-1 analysis to the downsampling layers of modern
 networks.
+
+Silent-data-corruption coverage: the halo exchanges here are plain
+point-to-point sends and receives of float64 arrays, so when an
+:class:`~repro.dist.abft.SDCGuard` is active (see
+:func:`~repro.simmpi.sdc.payload_guard`) every halo payload travels
+digest-escorted and is verified on arrival by the transport layer
+(:meth:`~repro.simmpi.communicator.Comm._accept_payload`).  No
+checksum logic is needed in this module — in-flight halo corruption is
+detected and recovered at the wire, while the conv GEMM outputs
+themselves are outside the matmul-targeted ABFT sites (the paper's
+three 1.5D layer products).
 """
 
 from __future__ import annotations

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.core.costs import integrated_mb_cost
 from repro.core.strategy import ProcessGrid
+from repro.dist.abft import make_guard
 from repro.dist.grid import GridComm
 from repro.dist.layers import relu, relu_grad
 from repro.dist.loss import softmax_cross_entropy
@@ -43,6 +44,7 @@ from repro.errors import ConfigurationError, PeerFailedError, ShapeError, Strate
 from repro.machine.params import MachineParams, cori_knl
 from repro.nn.zoo import mlp
 from repro.simmpi.engine import SimEngine, SimResult
+from repro.simmpi.sdc import payload_guard
 from repro.telemetry.spans import span
 
 __all__ = [
@@ -201,6 +203,7 @@ def elastic_mlp_program(
     schedule=None,
     lr_schedule=None,
     machine: Optional[MachineParams] = None,
+    sdc=None,
 ):
     """The SPMD rank program for elastic 1.5D MLP training.
 
@@ -211,9 +214,18 @@ def elastic_mlp_program(
     :class:`~repro.errors.PeerFailedError` (surfacing deterministically
     from communication with a dead or recovering peer) triggers the
     shrink / agree / re-plan / restore sequence.
+
+    ``sdc`` enables ABFT guards (see
+    :func:`~repro.dist.train.mlp_train_program`).  This is also the
+    escalation target of the ``recompute`` policy: a rank whose retry
+    budget is exhausted raises
+    :class:`~repro.errors.SDCUnrecoverableError`, which the supervisor
+    treats exactly like a crash — the survivors shrink, re-plan and
+    restore from the newest common checkpoint.
     """
     if machine is None:
         machine = cori_knl()
+    guard = make_guard(sdc)
     dims = params0.dims
     n = x.shape[1]
     num_layers = len(params0.weights)
@@ -226,6 +238,21 @@ def elastic_mlp_program(
     restores: List[int] = []
     start = 0
     cur_pr, cur_pc = pr, pc
+    with payload_guard(guard):
+        return _elastic_loop(
+            world, params0, x, y, ckpts, grids, restores, start, cur_pr, cur_pc,
+            batch=batch, steps=steps, lr=lr, momentum=momentum,
+            weight_decay=weight_decay, checkpoint_every=checkpoint_every,
+            schedule=schedule, lr_schedule=lr_schedule, machine=machine,
+            guard=guard, dims=dims, n=n, num_layers=num_layers,
+        )
+
+
+def _elastic_loop(
+    world, params0, x, y, ckpts, grids, restores, start, cur_pr, cur_pc,
+    *, batch, steps, lr, momentum, weight_decay, checkpoint_every,
+    schedule, lr_schedule, machine, guard, dims, n, num_layers,
+):
     while True:
         try:
             grid = GridComm(world, cur_pr, cur_pc)
@@ -256,7 +283,10 @@ def elastic_mlp_program(
                     zs = []
                     for i in range(num_layers):
                         with span("fwd", comm=world, layer=i):
-                            z = forward_15d(grid, w_locals[i], acts[-1])
+                            z = forward_15d(
+                                grid, w_locals[i], acts[-1],
+                                layer=i, step=step, guard=guard,
+                            )
                         zs.append(z)
                         acts.append(relu(z) if i < num_layers - 1 else z)
                     with span("loss", comm=world):
@@ -273,10 +303,16 @@ def elastic_mlp_program(
                     for i in range(num_layers - 1, -1, -1):
                         dy_rows = row_parts[i].take(dz, grid.row, axis=0)
                         with span("bwd_dw", comm=world, layer=i):
-                            grads[i] = backward_dw_15d(grid, dy_rows, acts[i])
+                            grads[i] = backward_dw_15d(
+                                grid, dy_rows, acts[i],
+                                layer=i, step=step, guard=guard,
+                            )
                         if i > 0:
                             with span("bwd_dx", comm=world, layer=i):
-                                da = backward_dx_15d(grid, w_locals[i], dy_rows)
+                                da = backward_dx_15d(
+                                    grid, w_locals[i], dy_rows,
+                                    layer=i, step=step, guard=guard,
+                                )
                             dz = relu_grad(zs[i - 1], da)
                     with span("update", comm=world):
                         opt.step(w_locals, grads)  # type: ignore[arg-type]
@@ -314,6 +350,7 @@ def elastic_mlp_train(
     schedule=None,
     lr_schedule=None,
     faults=None,
+    sdc=None,
     machine: Optional[MachineParams] = None,
     trace: bool = False,
     metrics=None,
@@ -324,6 +361,7 @@ def elastic_mlp_train(
     ``faults`` is a :class:`~repro.simmpi.faults.FaultPlan` (or
     injector); with ``None`` or an empty plan the run is numerically
     identical to :func:`~repro.dist.train.distributed_mlp_train`.
+    ``sdc`` enables ABFT guards against injected bit flips.
     Raises :class:`~repro.errors.RankFailedError` if every rank dies.
     """
     if x.ndim != 2:
@@ -359,6 +397,7 @@ def elastic_mlp_train(
         schedule=schedule,
         lr_schedule=lr_schedule,
         machine=engine.network.machine,
+        sdc=make_guard(sdc),  # one shared guard: all ranks, one counter set
     )
     losses, weights, grids, restores = result.values[result.survivors[0]]
     return ElasticResult(
@@ -377,6 +416,7 @@ def elastic_run_record(
     batch: int,
     steps: int,
     checkpoint_every: int = 2,
+    sdc=None,
     meta=None,
 ):
     """Build the :class:`~repro.analysis.record.RunRecord` of an elastic run.
@@ -398,15 +438,20 @@ def elastic_run_record(
         "failed_ranks": list(result.sim.failed),
     }
     merged.update(meta or {})
+    config = {
+        "dims": [int(d) for d in dims],
+        "batch": int(batch),
+        "steps": int(steps),
+        "checkpoint_every": int(checkpoint_every),
+    }
+    if sdc is not None:
+        from repro.dist.train import _sdc_mode
+
+        config["sdc"] = _sdc_mode(sdc)
     return build_run_record(
         result.engine.tracer.canonical(),
         trainer="elastic",
-        config={
-            "dims": [int(d) for d in dims],
-            "batch": int(batch),
-            "steps": int(steps),
-            "checkpoint_every": int(checkpoint_every),
-        },
+        config=config,
         pr=pr,
         pc=pc,
         clocks=result.sim.clocks,

@@ -22,6 +22,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.dist.abft import make_guard
 from repro.dist.conv_domain import DomainConv2D
 from repro.dist.grid import GridComm
 from repro.dist.layers import (
@@ -39,6 +40,7 @@ from repro.dist.sgd import SGD
 from repro.dist.train import _batch_columns
 from repro.errors import ConfigurationError, ShapeError
 from repro.simmpi.engine import SimEngine, SimResult
+from repro.simmpi.sdc import payload_guard
 from repro.telemetry.spans import span
 
 __all__ = [
@@ -292,8 +294,10 @@ def _cnn_train_program(
     weight_decay: float = 0.0,
     schedule=None,
     lr_schedule=None,
+    sdc=None,
 ):
     grid = GridComm(comm, pr, pc)
+    guard = make_guard(sdc)
     n = x.shape[0]
     heights = config.heights()
     # Domain-parallel conv operators over the Pr (column) group.
@@ -315,7 +319,7 @@ def _cnn_train_program(
     nfc = len(fc_ws)
 
     for step in range(steps):
-        with span("step", comm=comm, step=step):
+        with span("step", comm=comm, step=step), payload_guard(guard):
             if lr_schedule is not None:
                 opt.lr = float(lr_schedule(step))
             cols = _batch_columns(step, batch, n, schedule)
@@ -350,7 +354,9 @@ def _cnn_train_program(
             zs = []
             for i in range(nfc):
                 with span("fwd", comm=comm, layer=i):
-                    z = forward_15d(grid, fc_ws[i], acts[-1])
+                    z = forward_15d(
+                        grid, fc_ws[i], acts[-1], layer=i, step=step, guard=guard
+                    )
                 zs.append(z)
                 acts.append(relu(z) if i < nfc - 1 else z)
             with span("loss", comm=comm):
@@ -366,9 +372,13 @@ def _cnn_train_program(
             for i in range(nfc - 1, -1, -1):
                 dy_rows = fc_row_parts[i].take(dz, grid.row, axis=0)
                 with span("bwd_dw", comm=comm, layer=i):
-                    fc_grads[i] = backward_dw_15d(grid, dy_rows, acts[i])
+                    fc_grads[i] = backward_dw_15d(
+                        grid, dy_rows, acts[i], layer=i, step=step, guard=guard
+                    )
                 with span("bwd_dx", comm=comm, layer=i):
-                    da = backward_dx_15d(grid, fc_ws[i], dy_rows)
+                    da = backward_dx_15d(
+                        grid, fc_ws[i], dy_rows, layer=i, step=step, guard=guard
+                    )
                 if i > 0:
                     dz = relu_grad(zs[i - 1], da)
             # --- backward through the redistribution: slice my rows, no comm ---
@@ -411,6 +421,7 @@ def distributed_cnn_train(
     trace: bool = False,
     metrics=None,
     engine=None,
+    sdc=None,
 ) -> Tuple[CNNParams, List[float], SimResult]:
     """Integrated training on a ``pr x pc`` grid; returns full params.
 
@@ -428,6 +439,8 @@ def distributed_cnn_train(
         raise ConfigurationError(
             f"engine has {engine.size} ranks, grid needs {pr * pc}"
         )
+    # One shared guard object so all ranks aggregate into the same
+    # sdc.* counters (and the caller can inspect them afterwards).
     result = engine.run(
         _cnn_train_program,
         config,
@@ -443,6 +456,7 @@ def distributed_cnn_train(
         weight_decay=weight_decay,
         schedule=schedule,
         lr_schedule=lr_schedule,
+        sdc=make_guard(sdc),
     )
     # Conv weights are replicated (take rank 0's); FC weights reassemble
     # from the r-row blocks of column 0.
@@ -464,6 +478,7 @@ def cnn_run_record(
     pc: int,
     batch: int,
     steps: int,
+    sdc=None,
     meta=None,
 ):
     """Build the :class:`~repro.analysis.record.RunRecord` of a traced run.
@@ -473,17 +488,21 @@ def cnn_run_record(
     the record is deterministic.
     """
     from repro.analysis.record import build_run_record
+    from repro.dist.train import _sdc_mode
 
+    record_config = {
+        "image": [int(config.in_channels), int(config.height), int(config.width)],
+        "conv_channels": [int(c) for c in config.conv_channels],
+        "fc_dims": [int(d) for d in config.fc_dims],
+        "batch": int(batch),
+        "steps": int(steps),
+    }
+    if sdc is not None:
+        record_config["sdc"] = _sdc_mode(sdc)
     return build_run_record(
         engine.tracer.canonical(),
         trainer="integrated",
-        config={
-            "image": [int(config.in_channels), int(config.height), int(config.width)],
-            "conv_channels": [int(c) for c in config.conv_channels],
-            "fc_dims": [int(d) for d in config.fc_dims],
-            "batch": int(batch),
-            "steps": int(steps),
-        },
+        config=record_config,
         pr=pr,
         pc=pc,
         clocks=sim.clocks,

@@ -24,8 +24,11 @@ is Fig. 1 (pure model).
 
 from __future__ import annotations
 
+from typing import Callable, Optional
+
 import numpy as np
 
+from repro.dist.abft import SDCGuard, inject_unguarded
 from repro.dist.grid import GridComm
 from repro.dist.partition import BlockPartition
 from repro.errors import ShapeError
@@ -33,8 +36,39 @@ from repro.errors import ShapeError
 __all__ = ["forward_15d", "backward_dx_15d", "backward_dw_15d"]
 
 
+def _local_gemm(
+    grid: GridComm,
+    compute: Callable[[], np.ndarray],
+    *,
+    guard: Optional[SDCGuard],
+    layer: Optional[int],
+    step: Optional[int],
+    gemm: str,
+) -> np.ndarray:
+    """One local GEMM block, optionally under ABFT checksum protection.
+
+    Both paths share the same computation, so a guarded run with no
+    faults is bit-identical to an unguarded one.  Without a guard, an
+    injected bit flip for this site corrupts the block silently (the
+    negative control); with one, :meth:`SDCGuard.protect_block`
+    verifies and recovers per its policy.
+    """
+    if guard is not None:
+        return guard.protect_block(
+            grid.comm, compute, layer=layer if layer is not None else 0,
+            step=step if step is not None else 0, gemm=gemm,
+        )
+    return inject_unguarded(grid.comm, compute(), layer=layer, step=step, gemm=gemm)
+
+
 def forward_15d(
-    grid: GridComm, w_local: np.ndarray, x_local: np.ndarray
+    grid: GridComm,
+    w_local: np.ndarray,
+    x_local: np.ndarray,
+    *,
+    layer: Optional[int] = None,
+    step: Optional[int] = None,
+    guard: Optional[SDCGuard] = None,
 ) -> np.ndarray:
     """``Y[:, cols_c] = allgather_over_Pr(W[rows_r, :] @ X[:, cols_c])``.
 
@@ -47,6 +81,11 @@ def forward_15d(
     x_local:
         The full input activation for this batch shard, ``(d_in, b_c)``
         (replicated across the ``Pr`` group).
+    layer, step, guard:
+        SDC bookkeeping: the (layer, training step) identity of this
+        GEMM for fault injection, and an optional
+        :class:`~repro.dist.abft.SDCGuard` protecting the output block
+        with row/column checksums.
 
     Returns the full output shard ``(d_out, b_c)``.
     """
@@ -54,7 +93,10 @@ def forward_15d(
         raise ShapeError(
             f"W_local {w_local.shape} and X_local {x_local.shape} do not conform"
         )
-    y_partial = w_local @ x_local  # (rows_r, b_c)
+    y_partial = _local_gemm(
+        grid, lambda: w_local @ x_local,  # (rows_r, b_c)
+        guard=guard, layer=layer, step=step, gemm="fwd",
+    )
     if grid.pr == 1:
         return y_partial
     # Concatenation over the column group runs in model-row order because
@@ -63,28 +105,46 @@ def forward_15d(
 
 
 def backward_dx_15d(
-    grid: GridComm, w_local: np.ndarray, dy_local_rows: np.ndarray
+    grid: GridComm,
+    w_local: np.ndarray,
+    dy_local_rows: np.ndarray,
+    *,
+    layer: Optional[int] = None,
+    step: Optional[int] = None,
+    guard: Optional[SDCGuard] = None,
 ) -> np.ndarray:
     """``dX[:, cols_c] = allreduce_over_Pr(W[rows_r, :]^T @ dY[rows_r, cols_c])``."""
     if w_local.shape[0] != dy_local_rows.shape[0]:
         raise ShapeError(
             f"W_local {w_local.shape} and dY rows {dy_local_rows.shape} do not conform"
         )
-    dx_partial = w_local.T @ dy_local_rows  # (d_in, b_c)
+    dx_partial = _local_gemm(
+        grid, lambda: w_local.T @ dy_local_rows,  # (d_in, b_c)
+        guard=guard, layer=layer, step=step, gemm="bwd_dx",
+    )
     if grid.pr == 1:
         return dx_partial
     return grid.col_comm.allreduce(dx_partial, algorithm="ring")
 
 
 def backward_dw_15d(
-    grid: GridComm, dy_local_rows: np.ndarray, x_local: np.ndarray
+    grid: GridComm,
+    dy_local_rows: np.ndarray,
+    x_local: np.ndarray,
+    *,
+    layer: Optional[int] = None,
+    step: Optional[int] = None,
+    guard: Optional[SDCGuard] = None,
 ) -> np.ndarray:
     """``dW[rows_r, :] = allreduce_over_Pc(dY[rows_r, cols_c] @ X[:, cols_c]^T)``."""
     if dy_local_rows.shape[1] != x_local.shape[1]:
         raise ShapeError(
             f"dY rows {dy_local_rows.shape} and X_local {x_local.shape} do not conform"
         )
-    dw_partial = dy_local_rows @ x_local.T  # (rows_r, d_in)
+    dw_partial = _local_gemm(
+        grid, lambda: dy_local_rows @ x_local.T,  # (rows_r, d_in)
+        guard=guard, layer=layer, step=step, gemm="bwd_dw",
+    )
     if grid.pc == 1:
         return dw_partial
     return grid.row_comm.allreduce(dw_partial, algorithm="ring")

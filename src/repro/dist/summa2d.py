@@ -27,9 +27,11 @@ from typing import Optional
 
 import numpy as np
 
+from repro.dist.abft import inject_unguarded, make_guard
 from repro.dist.grid import GridComm
 from repro.dist.partition import BlockPartition
 from repro.errors import PartitionError, ShapeError
+from repro.simmpi.sdc import payload_guard
 from repro.telemetry.spans import span
 
 __all__ = [
@@ -58,6 +60,8 @@ def summa_stationary_c(
     m: int,
     k: int,
     n: int,
+    *,
+    sdc=None,
 ) -> np.ndarray:
     """Stationary-C SUMMA: returns this rank's ``C`` block.
 
@@ -66,6 +70,10 @@ def summa_stationary_c(
     :func:`distribute_2d`.  Requires ``k`` divisible by
     ``lcm(Pr, Pc)`` so every panel lies inside a single block (the
     standard aligned-panel setting).
+
+    ``sdc`` enables ABFT guards: each panel product is checksummed
+    (GEMM site ``gemm="summa"``, ``layer`` = panel index) and the panel
+    broadcasts travel digest-escorted.
     """
     pr, pc = grid.pr, grid.pc
     steps = math.lcm(pr, pc)
@@ -83,8 +91,9 @@ def summa_stationary_c(
     panels = BlockPartition(k, steps)
     m_i = a_rows.size(grid.row)
     n_j = b_local.shape[1]
+    guard = make_guard(sdc)
     c_local = np.zeros((m_i, n_j), dtype=np.result_type(a_local, b_local))
-    with span("summa", comm=grid.comm, pr=pr, pc=pc):
+    with span("summa", comm=grid.comm, pr=pr, pc=pc), payload_guard(guard):
         for t in range(steps):
             with span("panel", comm=grid.comm, t=t):
                 p0, p1 = panels.bounds(t)
@@ -108,11 +117,23 @@ def summa_stationary_c(
                 else:
                     b_panel = None
                 b_panel = grid.col_comm.bcast(b_panel, root=owner_row)
-                c_local += a_panel @ b_panel
+                if guard is not None:
+                    product = guard.protect_block(
+                        grid.comm,
+                        lambda a=a_panel, b=b_panel: a @ b,
+                        layer=t, step=0, gemm="summa",
+                    )
+                else:
+                    product = inject_unguarded(
+                        grid.comm, a_panel @ b_panel, layer=t, step=0, gemm="summa"
+                    )
+                c_local += product
     return c_local
 
 
-def summa_matmul(comm, a: np.ndarray, b: np.ndarray, pr: int, pc: int) -> np.ndarray:
+def summa_matmul(
+    comm, a: np.ndarray, b: np.ndarray, pr: int, pc: int, *, sdc=None
+) -> np.ndarray:
     """Convenience SPMD helper: distribute, multiply, return the C block.
 
     Every rank passes the same full ``a``/``b`` (mimicking data loaded
@@ -125,7 +146,7 @@ def summa_matmul(comm, a: np.ndarray, b: np.ndarray, pr: int, pc: int) -> np.nda
     a_local = distribute_2d(a, grid)
     b_local = distribute_2d(b, grid)
     return summa_stationary_c(
-        grid, a_local, b_local, a.shape[0], a.shape[1], b.shape[1]
+        grid, a_local, b_local, a.shape[0], a.shape[1], b.shape[1], sdc=sdc
     )
 
 
@@ -138,6 +159,7 @@ def summa_run_record(
     n: int,
     pr: int,
     pc: int,
+    sdc=None,
     meta=None,
 ):
     """Build the :class:`~repro.analysis.record.RunRecord` of a traced SUMMA.
@@ -149,10 +171,15 @@ def summa_run_record(
     """
     from repro.analysis.record import build_run_record
 
+    config = {"m": int(m), "k": int(k), "n": int(n)}
+    if sdc is not None:
+        from repro.dist.train import _sdc_mode
+
+        config["sdc"] = _sdc_mode(sdc)
     return build_run_record(
         engine.tracer.canonical(),
         trainer="summa2d",
-        config={"m": int(m), "k": int(k), "n": int(n)},
+        config=config,
         pr=pr,
         pc=pc,
         clocks=sim.clocks,

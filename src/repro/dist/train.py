@@ -16,10 +16,12 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.dist.abft import make_guard
 from repro.dist.grid import GridComm
 from repro.dist.layers import relu, relu_grad
 from repro.dist.loss import softmax_cross_entropy
 from repro.dist.matmul15d import backward_dw_15d, backward_dx_15d, forward_15d
+from repro.simmpi.sdc import payload_guard
 from repro.dist.partition import BlockPartition
 from repro.dist.sgd import SGD
 from repro.errors import ConfigurationError, ShapeError
@@ -143,6 +145,7 @@ def mlp_train_program(
     weight_decay: float = 0.0,
     schedule=None,
     lr_schedule=None,
+    sdc=None,
 ):
     """The SPMD rank program for 1.5D MLP training.
 
@@ -150,8 +153,17 @@ def mlp_train_program(
     identical initialisation and a shared dataset) and keeps only its
     1.5D blocks: weight rows ``rows_r`` per layer and batch columns
     ``cols_c`` per step.  Returns ``(local_weight_blocks, losses)``.
+
+    ``sdc`` enables the ABFT guards of :mod:`repro.dist.abft`: a policy
+    mode string (``"detect"``/``"correct"``/``"recompute"``), an
+    :class:`~repro.simmpi.sdc.SDCPolicy`, or a shared
+    :class:`~repro.dist.abft.SDCGuard`.  Guards checksum every local
+    GEMM output block and escort every in-flight payload with an 8-byte
+    digest; with no injected faults the guarded run is bit-identical to
+    an unguarded one.
     """
     grid = GridComm(comm, pr, pc)
+    guard = make_guard(sdc)
     n = x.shape[1]
     dims = params0.dims
     row_parts = [BlockPartition(d_out, grid.pr) for d_out in dims[1:]]
@@ -163,43 +175,53 @@ def mlp_train_program(
     opt = SGD(lr=lr, momentum=momentum, weight_decay=weight_decay)
     losses: List[float] = []
     num_layers = len(w_locals)
-    for step in range(steps):
-        with span("step", comm=comm, step=step):
-            if lr_schedule is not None:
-                opt.lr = float(lr_schedule(step))
-            cols = _batch_columns(step, batch, n, schedule)
-            my_cols = col_part.take(cols, grid.col)
-            a_local = x[:, my_cols]
-            yb_local = y[my_cols]
-            # Forward: cache the full (d_i x b_c) activations per layer.
-            acts = [a_local]
-            zs = []
-            for i in range(num_layers):
-                with span("fwd", comm=comm, layer=i):
-                    z = forward_15d(grid, w_locals[i], acts[-1])
-                zs.append(z)
-                acts.append(relu(z) if i < num_layers - 1 else z)
-            with span("loss", comm=comm):
-                loss_local, dz = softmax_cross_entropy(
-                    zs[-1], yb_local, global_batch=batch
-                )
-                # Global loss: shard losses add over the Pc batch groups.
-                loss_global = float(
-                    grid.row_comm.allreduce(np.array([loss_local]), algorithm="ring")[0]
-                )
-            losses.append(loss_global)
-            # Backward.
-            grads: List[Optional[np.ndarray]] = [None] * num_layers
-            for i in range(num_layers - 1, -1, -1):
-                dy_rows = row_parts[i].take(dz, grid.row, axis=0)
-                with span("bwd_dw", comm=comm, layer=i):
-                    grads[i] = backward_dw_15d(grid, dy_rows, acts[i])
-                if i > 0:
-                    with span("bwd_dx", comm=comm, layer=i):
-                        da = backward_dx_15d(grid, w_locals[i], dy_rows)
-                    dz = relu_grad(zs[i - 1], da)
-            with span("update", comm=comm):
-                opt.step(w_locals, grads)  # type: ignore[arg-type]
+    with payload_guard(guard):
+        for step in range(steps):
+            with span("step", comm=comm, step=step):
+                if lr_schedule is not None:
+                    opt.lr = float(lr_schedule(step))
+                cols = _batch_columns(step, batch, n, schedule)
+                my_cols = col_part.take(cols, grid.col)
+                a_local = x[:, my_cols]
+                yb_local = y[my_cols]
+                # Forward: cache the full (d_i x b_c) activations per layer.
+                acts = [a_local]
+                zs = []
+                for i in range(num_layers):
+                    with span("fwd", comm=comm, layer=i):
+                        z = forward_15d(
+                            grid, w_locals[i], acts[-1],
+                            layer=i, step=step, guard=guard,
+                        )
+                    zs.append(z)
+                    acts.append(relu(z) if i < num_layers - 1 else z)
+                with span("loss", comm=comm):
+                    loss_local, dz = softmax_cross_entropy(
+                        zs[-1], yb_local, global_batch=batch
+                    )
+                    # Global loss: shard losses add over the Pc batch groups.
+                    loss_global = float(
+                        grid.row_comm.allreduce(np.array([loss_local]), algorithm="ring")[0]
+                    )
+                losses.append(loss_global)
+                # Backward.
+                grads: List[Optional[np.ndarray]] = [None] * num_layers
+                for i in range(num_layers - 1, -1, -1):
+                    dy_rows = row_parts[i].take(dz, grid.row, axis=0)
+                    with span("bwd_dw", comm=comm, layer=i):
+                        grads[i] = backward_dw_15d(
+                            grid, dy_rows, acts[i],
+                            layer=i, step=step, guard=guard,
+                        )
+                    if i > 0:
+                        with span("bwd_dx", comm=comm, layer=i):
+                            da = backward_dx_15d(
+                                grid, w_locals[i], dy_rows,
+                                layer=i, step=step, guard=guard,
+                            )
+                        dz = relu_grad(zs[i - 1], da)
+                with span("update", comm=comm):
+                    opt.step(w_locals, grads)  # type: ignore[arg-type]
     return w_locals, losses
 
 
@@ -232,6 +254,7 @@ def distributed_mlp_train(
     weight_decay: float = 0.0,
     schedule=None,
     lr_schedule=None,
+    sdc=None,
     machine=None,
     trace: bool = False,
     metrics=None,
@@ -246,6 +269,7 @@ def distributed_mlp_train(
     streaming event sink.  Passing a prebuilt ``engine`` (which must
     have ``pr * pc`` ranks) lets callers keep the tracer handle — e.g.
     to build a :class:`~repro.analysis.record.RunRecord` afterwards.
+    ``sdc`` turns on the ABFT guards (see :func:`mlp_train_program`).
     """
     if batch % 1:
         raise ConfigurationError("batch must be an integer")
@@ -255,6 +279,8 @@ def distributed_mlp_train(
         raise ConfigurationError(
             f"engine has {engine.size} ranks, grid needs {pr * pc}"
         )
+    # One shared guard so all ranks aggregate into the same sdc.* counters.
+    guard = make_guard(sdc)
     result = engine.run(
         mlp_train_program,
         params0,
@@ -269,10 +295,18 @@ def distributed_mlp_train(
         weight_decay=weight_decay,
         schedule=schedule,
         lr_schedule=lr_schedule,
+        sdc=guard,
     )
     weights = assemble_weights(result, params0.dims, pr, pc)
     losses = list(result.values[0][1])
     return weights, losses, result
+
+
+def _sdc_mode(sdc) -> str:
+    """The policy mode string of any accepted ``sdc`` argument form."""
+    if isinstance(sdc, str):
+        return sdc
+    return make_guard(sdc).policy.mode
 
 
 def mlp_run_record(
@@ -284,24 +318,30 @@ def mlp_run_record(
     pc: int,
     batch: int,
     steps: int,
+    sdc=None,
     meta=None,
 ):
     """Build the :class:`~repro.analysis.record.RunRecord` of a traced run.
 
     ``engine`` must be the (tracing) engine the run executed on and
     ``sim`` its result; the trace is read in canonical (replay-stable)
-    order so the record is deterministic for a given program.
+    order so the record is deterministic for a given program.  Pass the
+    run's ``sdc`` policy mode so guarded records get a distinct config
+    key (unguarded records stay byte-identical to pre-SDC baselines).
     """
     from repro.analysis.record import build_run_record
 
+    config = {
+        "dims": list(int(d) for d in dims),
+        "batch": int(batch),
+        "steps": int(steps),
+    }
+    if sdc is not None:
+        config["sdc"] = _sdc_mode(sdc)
     return build_run_record(
         engine.tracer.canonical(),
         trainer="train",
-        config={
-            "dims": list(int(d) for d in dims),
-            "batch": int(batch),
-            "steps": int(steps),
-        },
+        config=config,
         pr=pr,
         pc=pc,
         clocks=sim.clocks,

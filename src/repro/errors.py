@@ -113,6 +113,48 @@ class SimulatedCrashError(SimMPIError):
         super().__init__(f"injected crash of rank {rank}{where}{when}")
 
 
+class SDCError(SimMPIError):
+    """Base class for silent-data-corruption (ABFT) failures."""
+
+
+class SDCDetectedError(SDCError):
+    """An ABFT checksum caught corrupted data under the ``detect`` policy.
+
+    Raised loudly instead of letting the corruption propagate: the
+    ``detect`` policy flags and aborts, leaving correction or
+    recomputation to the stronger policies.
+    """
+
+    def __init__(self, rank: int, *, site: str = "", detail: str = ""):
+        self.rank = rank
+        self.site = site
+        where = f" in {site}" if site else ""
+        extra = f": {detail}" if detail else ""
+        super().__init__(
+            f"silent data corruption detected on rank {rank}{where}{extra}"
+        )
+
+
+class SDCUnrecoverableError(SDCError, SimulatedCrashError):
+    """Corruption persisted past the bounded recompute retries.
+
+    Subclasses :class:`SimulatedCrashError` deliberately: on a
+    supervised engine the afflicted rank is excised exactly like a
+    crashed rank, so the elastic shrink / re-plan / checkpoint-restore
+    machinery (PR 1) takes over without any special casing.
+    """
+
+    def __init__(self, rank: int, *, site: str = "", retries: int = 0):
+        SimulatedCrashError.__init__(self, rank)
+        self.site = site
+        self.retries = retries
+        where = f" in {site}" if site else ""
+        self.args = (
+            f"unrecoverable silent data corruption on rank {rank}{where} "
+            f"after {retries} recompute retr{'y' if retries == 1 else 'ies'}",
+        )
+
+
 class PeerFailedError(SimMPIError):
     """A communication partner died while this rank was communicating.
 

@@ -24,9 +24,18 @@ from repro.errors import (
     CommunicatorError,
     DeadlockError,
     PeerFailedError,
+    SDCDetectedError,
     TransientCommError,
 )
 from repro.simmpi.network import payload_bytes, payload_data_bytes
+from repro.simmpi.sdc import (
+    SDC_DIGEST_BYTES,
+    GuardedPayload,
+    apply_payload_flip,
+    current_guard,
+    payload_digest,
+    wrap_payload,
+)
 from repro.simmpi.tracing import TraceEvent
 
 __all__ = ["Comm", "Mailbox", "Request"]
@@ -137,8 +146,12 @@ class Request:
                     comm.clock,
                     (self._key[3],),
                     data_bytes=payload_data_bytes(payload),
+                    guard_bytes=(
+                        SDC_DIGEST_BYTES if isinstance(payload, GuardedPayload) else 0
+                    ),
                 )
             )
+        payload = comm._accept_payload(payload, self._key[1])
         self._payload = payload
         self._done = True
         return payload
@@ -299,11 +312,20 @@ class Comm:
         nbytes = payload_bytes(obj)
         payload = obj.copy() if isinstance(obj, np.ndarray) else copy.deepcopy(obj)
         key = (self._ctx, self._world_rank, dst_world, tag)
+        guard = current_guard()
+        guard_extra = 0
         if injector is None:
-            # Fault-free fast path: exactly the original postal timing.
+            # Fault-free fast path: exactly the original postal timing
+            # (plus the explicit 8-byte digest escort when guarded).
             # Sends never block and never observe peer failures, so no
             # interrupt check is needed even under supervision — eager
             # buffering lets the sender proceed regardless.
+            if guard is not None:
+                wrapped = wrap_payload(payload, None)
+                if wrapped is not None:
+                    payload = wrapped
+                    guard_extra = SDC_DIGEST_BYTES
+                    nbytes += SDC_DIGEST_BYTES
             t0 = self.clock
             arrival = engine.network.arrival_time(t0, nbytes)
             engine.advance_clock(self._world_rank, engine.network.machine.alpha)
@@ -313,10 +335,25 @@ class Comm:
                     TraceEvent(
                         self._world_rank, "send", dst_world, nbytes, t0, self.clock, (tag,),
                         data_bytes=payload_data_bytes(obj),
+                        guard_bytes=guard_extra,
                     )
                 )
             return
         outcome = injector.send_outcome(self._world_rank, dst_world)
+        flip = outcome.bitflip if outcome is not None else None
+        if guard is not None:
+            # The digest is computed over the clean bits; an injected
+            # flip rides along and is applied on arrival (in-flight
+            # corruption that the receiver's verify must catch).
+            wrapped = wrap_payload(payload, flip)
+            if wrapped is not None:
+                payload = wrapped
+                guard_extra = SDC_DIGEST_BYTES
+                nbytes += SDC_DIGEST_BYTES
+            else:
+                flip = None  # nothing corruptible: the flip is spent without effect
+        elif flip is not None and not apply_payload_flip(payload, flip):
+            flip = None
         attempt = 0
         if outcome is not None and outcome.transient_attempts:
             plan = injector.plan
@@ -339,6 +376,15 @@ class Comm:
                 )
                 attempt += 1
         t0 = self.clock
+        if flip is not None:
+            engine.tracer.record(
+                TraceEvent(
+                    self._world_rank, "fault.bitflip", dst_world, 0, t0, t0,
+                    ("payload", tag, flip.element, flip.bit),
+                )
+            )
+            if guard is not None:
+                guard.monitor.inc("injected")
         machine = engine.network.link_machine(self._world_rank, dst_world, t0)
         # Same association as PostalNetwork.arrival_time so a no-op fault
         # plan yields bit-identical timings to running without one.
@@ -370,6 +416,7 @@ class Comm:
                 TraceEvent(
                     self._world_rank, "send", dst_world, nbytes, t0, self.clock, (tag,),
                     data_bytes=payload_data_bytes(obj),
+                    guard_bytes=guard_extra,
                 )
             )
 
@@ -393,9 +440,64 @@ class Comm:
                     self.clock,
                     (tag,),
                     data_bytes=payload_data_bytes(payload),
+                    guard_bytes=(
+                        SDC_DIGEST_BYTES if isinstance(payload, GuardedPayload) else 0
+                    ),
                 )
             )
-        return payload
+        return self._accept_payload(payload, src_world)
+
+    def _accept_payload(self, payload: Any, src_world: int) -> Any:
+        """Unwrap a guarded payload: apply in-flight corruption, verify, recover.
+
+        The sender shipped the *clean* data plus its 8-byte XOR digest;
+        an injected :class:`~repro.simmpi.faults.BitFlipFault` rides
+        along as a specification and is applied here, on arrival.  A
+        digest mismatch is silent data corruption caught at the wire:
+
+        * ``detect`` — raise :class:`~repro.errors.SDCDetectedError`;
+        * ``correct``/``recompute`` — model a retransmission: restore
+          the clean bits (XOR is an involution) and charge the flight
+          time of the message a second time.
+        """
+        if not isinstance(payload, GuardedPayload):
+            return payload
+        data = payload.data
+        if payload.flip is not None:
+            apply_payload_flip(data, payload.flip)
+        if payload_digest(data) == payload.digest:
+            return data
+        engine = self._engine
+        guard = current_guard()
+        t0 = self.clock
+        engine.tracer.record(
+            TraceEvent(
+                self._world_rank, "fault.sdc_detected", src_world, 0, t0, t0,
+                ("payload",),
+            )
+        )
+        if guard is not None:
+            guard.monitor.inc("detected")
+        if guard is None or guard.policy.mode == "detect" or payload.flip is None:
+            raise SDCDetectedError(
+                self._world_rank,
+                site="payload",
+                detail=f"digest mismatch on message from rank {src_world}",
+            )
+        apply_payload_flip(data, payload.flip)  # involution: clean bits restored
+        nbytes = payload_bytes(payload)
+        refetch = engine.network.transfer_time(
+            nbytes, src=src_world, dst=self._world_rank, at=t0
+        )
+        engine.advance_clock(self._world_rank, refetch)
+        engine.tracer.record(
+            TraceEvent(
+                self._world_rank, "fault.sdc_retransmit", src_world, nbytes,
+                t0, self.clock, ("payload",),
+            )
+        )
+        guard.monitor.inc("recomputed")
+        return data
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
         """Non-blocking send; completes immediately (eager buffering)."""

@@ -18,7 +18,12 @@ inject into one run:
 * :class:`LinkFault` — a directed link runs degraded (latency multiplied,
   bandwidth divided) during a virtual-time window;
 * :class:`Straggler` — a rank's local compute is dilated by a constant
-  factor plus optional seeded jitter.
+  factor plus optional seeded jitter;
+* :class:`BitFlipFault` — silent data corruption: one bit of a matmul
+  output block (``target="matmul"``, keyed by rank/layer/step/GEMM) or
+  of an in-flight payload (``target="payload"``, keyed by the rank's
+  send index) is flipped.  Unguarded runs silently absorb the
+  corruption; ABFT guards (:mod:`repro.dist.abft`) detect it.
 
 Everything is deterministic given ``FaultPlan.seed``: random draws use
 per-rank counter-keyed streams, so thread scheduling can never change
@@ -45,6 +50,7 @@ __all__ = [
     "MessageDrop",
     "LinkFault",
     "Straggler",
+    "BitFlipFault",
     "FaultPlan",
     "FaultInjector",
     "SendOutcome",
@@ -157,6 +163,74 @@ class Straggler:
             raise ConfigurationError(f"jitter must be >= 0, got {self.jitter}")
 
 
+_BITFLIP_TARGETS = ("matmul", "payload")
+_BITFLIP_GEMMS = ("fwd", "bwd_dx", "bwd_dw", "summa")
+
+
+@dataclasses.dataclass(frozen=True)
+class BitFlipFault:
+    """One flipped bit — silent data corruption, deterministic and replayable.
+
+    ``target="matmul"``: flip bit ``bit`` of element ``element`` (row-major,
+    modulo the block size) of the local GEMM output block computed by
+    ``rank`` for ``gemm`` (one of ``fwd``/``bwd_dx``/``bwd_dw``/``summa``)
+    at layer ``layer`` (panel index for SUMMA) and training step ``step``.
+    ``repeat`` makes the flip re-fire on that many successive
+    recomputations of the same block, which lets tests exhaust the
+    ``recompute`` policy's retry budget deterministically.
+
+    ``target="payload"``: flip one bit of the ``send_index``-th send of
+    ``rank`` (optionally filtered by ``dest``) while the payload is in
+    flight.  Only float64 array payloads are corruptible; a flip landing
+    on a non-array send is spent without effect.
+    """
+
+    rank: int
+    target: str = "matmul"
+    layer: int = 0
+    step: int = 0
+    gemm: str = "fwd"
+    send_index: Optional[int] = None
+    dest: Optional[int] = None
+    element: int = 0
+    bit: int = 0
+    repeat: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ConfigurationError(f"bitflip rank must be >= 0, got {self.rank}")
+        if self.target not in _BITFLIP_TARGETS:
+            raise ConfigurationError(
+                f"bitflip target must be one of {_BITFLIP_TARGETS}, got {self.target!r}"
+            )
+        if not 0 <= self.bit < 64:
+            raise ConfigurationError(f"bit must lie in [0, 64), got {self.bit}")
+        if self.element < 0:
+            raise ConfigurationError(f"element must be >= 0, got {self.element}")
+        if self.repeat < 1:
+            raise ConfigurationError(f"repeat must be >= 1, got {self.repeat}")
+        if self.target == "matmul":
+            if self.layer < 0:
+                raise ConfigurationError(f"layer must be >= 0, got {self.layer}")
+            if self.step < 0:
+                raise ConfigurationError(f"step (generation) must be >= 0, got {self.step}")
+            if self.gemm not in _BITFLIP_GEMMS:
+                raise ConfigurationError(
+                    f"gemm must be one of {_BITFLIP_GEMMS}, got {self.gemm!r}"
+                )
+        else:
+            if self.send_index is None or self.send_index < 0:
+                raise ConfigurationError(
+                    "a payload bitflip needs send_index >= 0, got "
+                    f"{self.send_index}"
+                )
+            if self.repeat != 1:
+                raise ConfigurationError(
+                    "payload bitflips cannot repeat (recovery is by "
+                    f"retransmission, not recomputation), got repeat={self.repeat}"
+                )
+
+
 @dataclasses.dataclass(frozen=True)
 class FaultPlan:
     """Everything to inject into one run, replayable from ``seed``."""
@@ -167,12 +241,13 @@ class FaultPlan:
     drops: Tuple[MessageDrop, ...] = ()
     links: Tuple[LinkFault, ...] = ()
     stragglers: Tuple[Straggler, ...] = ()
+    bitflips: Tuple[BitFlipFault, ...] = ()
     max_retries: int = 3
     backoff_base: float = 1e-5
 
     def __post_init__(self) -> None:
         # Normalise lists to tuples so plans are hashable/frozen.
-        for field in ("crashes", "transients", "drops", "links", "stragglers"):
+        for field in ("crashes", "transients", "drops", "links", "stragglers", "bitflips"):
             value = getattr(self, field)
             if not isinstance(value, tuple):
                 object.__setattr__(self, field, tuple(value))
@@ -186,7 +261,12 @@ class FaultPlan:
     @property
     def empty(self) -> bool:
         return not (
-            self.crashes or self.transients or self.drops or self.links or self.stragglers
+            self.crashes
+            or self.transients
+            or self.drops
+            or self.links
+            or self.stragglers
+            or self.bitflips
         )
 
     # -- (de)serialisation for the CLI --------------------------------------
@@ -197,6 +277,7 @@ class FaultPlan:
         "drops": MessageDrop,
         "links": LinkFault,
         "stragglers": Straggler,
+        "bitflips": BitFlipFault,
     }
 
     def to_dict(self) -> dict:
@@ -303,6 +384,7 @@ class SendOutcome:
 
     transient_attempts: int = 0
     drop: bool = False
+    bitflip: Optional[BitFlipFault] = None
 
 
 # A shared immutable no-fault outcome so the hot path allocates nothing.
@@ -335,6 +417,15 @@ class FaultInjector:
         for lf in plan.links:
             self._links.setdefault((lf.src, lf.dst), []).append(lf)
         self._stragglers: Dict[int, Straggler] = {s.rank: s for s in plan.stragglers}
+        self._bitflips_matmul: Dict[int, List[BitFlipFault]] = {}
+        self._bitflips_payload: Dict[int, List[BitFlipFault]] = {}
+        for bf in plan.bitflips:
+            by_rank = (
+                self._bitflips_matmul
+                if bf.target == "matmul"
+                else self._bitflips_payload
+            )
+            by_rank.setdefault(bf.rank, []).append(bf)
         self._link_machines: Dict[Tuple[float, float], MachineParams] = {}
         self.reset()
 
@@ -342,6 +433,7 @@ class FaultInjector:
         """Rewind all per-run state (send counters, RNGs, fired crashes)."""
         self._send_counter: Dict[int, int] = {}
         self._fired: set = set()
+        self._flip_fires: Dict[BitFlipFault, int] = {}
         self._rngs: Dict[int, np.random.Generator] = {}
         self._jitter_rngs: Dict[int, np.random.Generator] = {}
 
@@ -406,9 +498,39 @@ class FaultInjector:
                     attempts = max(attempts, tf.attempts)
             elif self._rng(src).random() < tf.probability:
                 attempts = max(attempts, tf.attempts)
-        if attempts:
-            return SendOutcome(transient_attempts=attempts)
+        flip = None
+        for bf in self._bitflips_payload.get(src, ()):
+            if bf.send_index == index and (bf.dest is None or bf.dest == dst):
+                if self._flip_fires.get(bf, 0) < 1:
+                    self._flip_fires[bf] = 1
+                    flip = bf
+                    break
+        if attempts or flip is not None:
+            return SendOutcome(transient_attempts=attempts, bitflip=flip)
         return SendOutcome.OK
+
+    # -- silent data corruption ----------------------------------------------
+
+    def has_bitflips(self) -> bool:
+        return bool(self._bitflips_matmul or self._bitflips_payload)
+
+    def matmul_bitflip(
+        self, rank: int, *, layer: int, step: int, gemm: str
+    ) -> Optional[BitFlipFault]:
+        """The bit flip striking this freshly computed GEMM block, if any.
+
+        A flip fires at most ``repeat`` times for the same site, so
+        recomputing the block (the ``recompute`` policy) re-corrupts it
+        until the budget is spent — deterministic across replays.  Only
+        called from ``rank``'s own thread.
+        """
+        for bf in self._bitflips_matmul.get(rank, ()):
+            if bf.layer == layer and bf.step == step and bf.gemm == gemm:
+                fires = self._flip_fires.get(bf, 0)
+                if fires < bf.repeat:
+                    self._flip_fires[bf] = fires + 1
+                    return bf
+        return None
 
     # -- links ---------------------------------------------------------------
 

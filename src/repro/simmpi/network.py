@@ -21,6 +21,7 @@ from typing import Any, Optional
 import numpy as np
 
 from repro.machine.params import MachineParams, cori_knl
+from repro.simmpi.sdc import SDC_DIGEST_BYTES, GuardedPayload
 
 __all__ = ["PostalNetwork", "payload_bytes", "payload_data_bytes"]
 
@@ -42,6 +43,10 @@ def payload_bytes(obj: Any) -> int:
         return 16
     if isinstance(obj, (bool, int, float)):
         return 8
+    if isinstance(obj, GuardedPayload):
+        # An SDC-guarded payload travels as the data plus its 8-byte
+        # XOR digest (repro.simmpi.sdc).
+        return payload_bytes(obj.data) + SDC_DIGEST_BYTES
     try:
         return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
     except Exception:  # pragma: no cover - unpicklable payloads are exotic
@@ -74,6 +79,10 @@ def payload_data_bytes(obj: Any) -> int:
         return sum(payload_data_bytes(value) for value in obj.values())
     if obj is None:
         return 0
+    if isinstance(obj, GuardedPayload):
+        # The digest is guard traffic, not model data: existing audit
+        # terms must close unchanged with guards on.
+        return payload_data_bytes(obj.data)
     return payload_bytes(obj)
 
 

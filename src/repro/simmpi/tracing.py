@@ -35,9 +35,12 @@ class TraceEvent:
     ``nbytes`` is the size *on the wire* (pickled objects are measured
     by their pickle); ``data_bytes`` is the raw numeric content of the
     payload (array elements only, no serialization overhead), which is
-    what the paper's bandwidth terms count.  ``span`` is the telemetry
-    span path active when the event was recorded — see
-    :mod:`repro.telemetry.spans`.
+    what the paper's bandwidth terms count.  ``guard_bytes`` is the
+    SDC-guard escort traffic riding on the message (the 8-byte payload
+    digest of :mod:`repro.simmpi.sdc`) — zero on unguarded sends, so
+    audits can account checksum traffic as its own explicit term.
+    ``span`` is the telemetry span path active when the event was
+    recorded — see :mod:`repro.telemetry.spans`.
     """
 
     rank: int
@@ -49,10 +52,14 @@ class TraceEvent:
     tag: Tuple[object, ...] = ()
     data_bytes: int = 0
     span: Tuple[str, ...] = ()
+    guard_bytes: int = 0
 
     #: Prefix shared by every fault-subsystem event (``fault.crash``,
     #: ``fault.transient``, ``fault.retry``, ``fault.backoff``,
-    #: ``fault.drop``, ``fault.link``, ``fault.recovery``).
+    #: ``fault.drop``, ``fault.link``, ``fault.recovery``, plus the SDC
+    #: family ``fault.bitflip``, ``fault.sdc_detected``,
+    #: ``fault.sdc_corrected``, ``fault.sdc_recomputed``,
+    #: ``fault.sdc_retransmit``, ``fault.sdc_escalated``).
     FAULT_PREFIX = "fault."
 
     @property

@@ -24,6 +24,17 @@ Eq. 4, and the general grid Eq. 8.  The Eq. 9 domain terms are
 idealized-uniform in the paper (edge ranks exchange fewer halo rows
 than interior ranks), so halos are reported by the summary/metrics
 layers but not audited for exactness here.
+
+SDC-guarded runs (``sdc=True``) add one ``abft.digest_*`` term per
+audited collective: every guarded message carries an 8-byte checksum
+digest (:class:`~repro.simmpi.sdc.GuardedPayload`), recorded on the
+trace as :attr:`~repro.simmpi.tracing.TraceEvent.guard_bytes` and
+predicted by :func:`repro.core.costs.sdc_guard_cost_terms`.  Because
+the escort is metered separately from payload data bytes, the guarded
+audit still closes with zero relative error — digest traffic is an
+explicit term, never smeared into the data-volume comparison.
+Auditing a guarded trace without ``sdc=True`` is a configuration
+error (the digest traffic would silently go unaccounted).
 """
 
 from __future__ import annotations
@@ -153,14 +164,15 @@ class AuditReport:
 
 def _measured_phase_totals(
     events: Sequence[TraceEvent],
-) -> Dict[Tuple[str, int], Tuple[int, int]]:
-    """Sum send data bytes and counts per (phase name, layer index).
+) -> Dict[Tuple[str, int], Tuple[int, int, int]]:
+    """Sum send data bytes, counts and guard bytes per (phase, layer).
 
     Only ``send`` events are counted (each message once); the owning
     phase is the innermost enclosing span whose base name is a trainer
-    phase (``fwd``/``bwd_dx``/``bwd_dw``).
+    phase (``fwd``/``bwd_dx``/``bwd_dw``).  Guard bytes are the SDC
+    digest escorts riding those messages — zero on unguarded runs.
     """
-    totals: Dict[Tuple[str, int], Tuple[int, int]] = {}
+    totals: Dict[Tuple[str, int], Tuple[int, int, int]] = {}
     for e in events:
         if e.op != "send":
             continue
@@ -169,8 +181,10 @@ def _measured_phase_totals(
             if name in PHASE_CATEGORY:
                 layer = parse_label(label)[1].get("layer", -1)
                 key = (name, int(layer))
-                nbytes, count = totals.get(key, (0, 0))
-                totals[key] = (nbytes + e.data_bytes, count + 1)
+                nbytes, count, guard = totals.get(key, (0, 0, 0))
+                totals[key] = (
+                    nbytes + e.data_bytes, count + 1, guard + e.guard_bytes
+                )
                 break
     return totals
 
@@ -202,6 +216,7 @@ def audit_events(
     steps: int,
     machine: Optional[MachineParams] = None,
     dropped: int = 0,
+    sdc: bool = False,
 ) -> AuditReport:
     """Audit an existing trace of :func:`repro.dist.train.mlp_train_program`.
 
@@ -209,15 +224,20 @@ def audit_events(
     measured totals are averaged over ``steps`` (they are identical
     every step) and compared against Eq. 8 for the same configuration.
     ``dropped`` (the tracer's ring-buffer drop count) marks the report
-    as a lower bound — see :attr:`AuditReport.dropped`.
+    as a lower bound — see :attr:`AuditReport.dropped`.  ``sdc=True``
+    audits the ABFT digest escorts of a guarded run against
+    :func:`repro.core.costs.sdc_guard_cost_terms` as separate
+    ``abft.digest_*`` terms.
     """
+    from repro.core.costs import ABFT_DIGEST_CATEGORY, sdc_guard_cost_terms
     from repro.nn import mlp
 
     if steps < 1:
         raise ConfigurationError(f"steps must be >= 1, got {steps}")
     machine = machine if machine is not None else cori_knl()
     network = mlp(list(dims))
-    breakdown = integrated_mb_cost(network, batch, ProcessGrid(pr, pc), machine)
+    grid = ProcessGrid(pr, pc)
+    breakdown = integrated_mb_cost(network, batch, grid, machine)
     measured = _measured_phase_totals(events)
     p = pr * pc
     category_phase = {v: k for k, v in PHASE_CATEGORY.items()}
@@ -228,7 +248,7 @@ def audit_events(
         # Trainer spans number layers from 0; weighted layers from 1.
         key = (phase, cost_term.layer_index - 1)
         seen.add(key)
-        meas_bytes, meas_msgs = measured.get(key, (0, 0))
+        meas_bytes, meas_msgs, _ = measured.get(key, (0, 0, 0))
         terms.append(
             AuditTerm(
                 layer_index=cost_term.layer_index,
@@ -245,6 +265,34 @@ def audit_events(
             f"trace contains phase traffic the cost model does not predict: "
             f"{sorted(stray)}"
         )
+    guard_traffic = sum(g for _, _, g in measured.values())
+    if guard_traffic and not sdc:
+        raise ConfigurationError(
+            f"trace carries {guard_traffic} bytes of SDC digest escorts but "
+            "the audit was asked for an unguarded run; pass sdc=True so the "
+            "abft.digest_* terms account for them"
+        )
+    if sdc:
+        # Digest escorts: one 8-byte checksum per guarded message,
+        # predicted straight from the guard cost model (its per-rank
+        # volume is the send count at one element per message).
+        digest_phase = {v: category_phase[k] for k, v in ABFT_DIGEST_CATEGORY.items()}
+        guard_terms = sdc_guard_cost_terms(network, batch, grid, machine)
+        for cost_term in guard_terms.filter("abft.digest").terms:
+            phase = digest_phase[cost_term.category]
+            key = (phase, cost_term.layer_index - 1)
+            _, _, meas_guard = measured.get(key, (0, 0, 0))
+            pred_msgs = cost_term.volume * p
+            terms.append(
+                AuditTerm(
+                    layer_index=cost_term.layer_index,
+                    category=cost_term.category,
+                    predicted_bytes=pred_msgs * SIM_ELEMENT_BYTES,
+                    measured_bytes=meas_guard / steps,
+                    predicted_messages=pred_msgs,
+                    measured_messages=meas_guard / SIM_ELEMENT_BYTES / steps,
+                )
+            )
     return AuditReport(
         tuple(terms), pr=pr, pc=pc, batch=batch, steps=steps, dropped=dropped
     )
@@ -260,12 +308,14 @@ def audit_mlp_15d(
     samples: Optional[int] = None,
     machine: Optional[MachineParams] = None,
     seed: int = 0,
+    sdc=None,
 ) -> Tuple[AuditReport, Tuple[TraceEvent, ...]]:
     """Run traced 1.5D MLP training and audit it against Eq. 8.
 
     Returns ``(report, events)`` so callers (the CLI, the tests) can
     also export the trace.  The training run is deterministic in
-    ``seed``.
+    ``seed``.  ``sdc`` (a policy mode / policy / guard) turns on the
+    ABFT guards for the run and audits their digest escorts too.
     """
     from repro.dist.train import MLPParams, mlp_train_program
     from repro.simmpi.engine import SimEngine
@@ -278,11 +328,11 @@ def audit_mlp_15d(
     engine = SimEngine(pr * pc, machine, trace=True)
     engine.run(
         mlp_train_program, params0, x, y,
-        pr=pr, pc=pc, batch=batch, steps=steps,
+        pr=pr, pc=pc, batch=batch, steps=steps, sdc=sdc,
     )
     events = engine.tracer.events
     report = audit_events(
         events, dims, pr=pr, pc=pc, batch=batch, steps=steps, machine=machine,
-        dropped=engine.tracer.dropped,
+        dropped=engine.tracer.dropped, sdc=sdc is not None,
     )
     return report, events

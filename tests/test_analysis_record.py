@@ -8,7 +8,6 @@ import pytest
 from repro.analysis import (
     RUN_RECORD_SCHEMA,
     RunRecord,
-    build_run_record,
     read_run_record,
     validate_run_record,
     write_run_record,

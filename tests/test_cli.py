@@ -438,3 +438,64 @@ class TestFaults:
         out = capsys.readouterr().out
         assert "recovery: none needed" in out
         assert "failed ranks   : none" in out
+
+    def test_faults_unguarded_bitflip_plan_degrades(self, tmp_path, capsys):
+        from repro.simmpi.faults import BitFlipFault, FaultPlan
+
+        plan = FaultPlan(bitflips=(
+            BitFlipFault(rank=1, target="matmul", layer=1, step=1,
+                         gemm="fwd", element=3, bit=52),
+        ))
+        path = tmp_path / "flip.json"
+        path.write_text(plan.to_json())
+        assert main(["faults", "--plan", str(path)]) == 1
+        captured = capsys.readouterr()
+        assert "1 bit flip(s)" in captured.out
+        assert "DEGRADED" in captured.err
+        assert "escaped undetected" in captured.err
+
+    def test_faults_same_plan_with_guards_recovers(self, tmp_path, capsys):
+        from repro.simmpi.faults import BitFlipFault, FaultPlan
+
+        plan = FaultPlan(bitflips=(
+            BitFlipFault(rank=1, target="matmul", layer=1, step=1,
+                         gemm="fwd", element=3, bit=52),
+        ))
+        path = tmp_path / "flip.json"
+        path.write_text(plan.to_json())
+        assert main(["faults", "--plan", str(path), "--sdc", "correct"]) == 0
+        out = capsys.readouterr().out
+        assert "ABFT on" in out
+        assert "max |w - serial|" in out
+
+
+class TestSDC:
+    def test_guarded_gauntlet_all_recovered(self, capsys):
+        assert main(["sdc"]) == 0
+        out = capsys.readouterr().out
+        assert "guards ON" in out
+        assert "corrected" in out
+        assert "recomputed" in out
+        assert "bit-identical" in out
+        assert "escaped" not in out
+
+    def test_unguarded_gauntlet_escapes(self, capsys):
+        assert main(["sdc", "--no-guard"]) == 2
+        captured = capsys.readouterr()
+        assert "escaped" in captured.out
+
+    def test_detect_policy_is_loud_but_unrecovered(self, capsys):
+        assert main(["sdc", "--policy", "detect"]) == 1
+        out = capsys.readouterr().out
+        assert "detected-unrecovered" in out
+
+    def test_recompute_policy_with_record(self, tmp_path, capsys):
+        from repro.analysis import read_run_record
+
+        path = tmp_path / "sdc.json"
+        assert main(["sdc", "--policy", "recompute", "--record", str(path)]) == 0
+        assert "record" in capsys.readouterr().out
+        record = read_run_record(str(path))
+        assert record.config["sdc"] == "recompute"
+        assert record.sdc["injected"] >= 1
+        assert record.sdc["escaped"] == 0
