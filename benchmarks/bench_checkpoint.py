@@ -1,0 +1,199 @@
+"""Capacity/overhead gate for the erasure-coded checkpoint subsystem.
+
+Runs the same elastic 1.5D MLP training job three times — with
+checkpointing off, with erasure-coded sharded checkpoints, and with
+full replication — and gates two committed claims:
+
+* **capacity** — the bytes stored per periodic take (summed over all
+  ranks) shrink by at least ``MIN_REDUCTION``x versus full replication.
+  With ``k = Pc - parity`` data chunks per stripe the analytic ratio is
+  ``~ Pr * k`` (each rank keeps one chunk of its row stripe instead of
+  the whole state), so the 2x floor has wide margin at this shape.
+* **overhead** — the erasure run's virtual makespan stays within
+  ``MAX_OVERHEAD`` of the checkpoint-free run.  Erasure takes are
+  purely local encodes (zero bytes on the wire, zero alpha-beta time),
+  so the measured ratio is exactly 1.0; the ceiling guards against the
+  take path ever growing a communication step.
+
+Both figures are *virtual* and therefore exactly reproducible.  The
+gate also re-asserts that checkpointing never changes the math: all
+three runs' final weights must be bit-identical.
+
+Exit-code convention (same as ``repro bench`` / ``repro diff``):
+
+* ``0`` — gates pass, weights bit-identical.
+* ``1`` — regression (``REGRESSION: ...`` on stderr).
+* ``2`` — configuration error (unreadable/mismatched baseline).
+
+Refresh the baseline after an intentional change with::
+
+    python benchmarks/bench_checkpoint.py --update-baseline
+"""
+
+import argparse
+import json
+import os
+import sys
+
+import numpy as np
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_checkpoint.json")
+BENCH_SCHEMA = "repro.checkpoint.bench/v1"
+
+#: Committed floor on replicated/erasure stored bytes per take.
+MIN_REDUCTION = 2.0
+#: Committed ceiling on erasure/no-checkpoint virtual makespan.
+MAX_OVERHEAD = 1.05
+
+CONFIG = {
+    "dims": [24, 16, 10],
+    "pr": 2,
+    "pc": 4,
+    "batch": 16,
+    "steps": 8,
+    "checkpoint_every": 2,
+    "parity": 1,
+    "seed": 0,
+    "machine": "cori-knl",
+}
+
+
+def run_checkpoint_bench() -> dict:
+    """Measure stored bytes and makespans; return a gateable record."""
+    from repro.dist.elastic import elastic_mlp_train
+    from repro.dist.train import MLPParams
+
+    dims = tuple(CONFIG["dims"])
+    rng = np.random.default_rng(CONFIG["seed"])
+    x = rng.standard_normal((dims[0], 4 * CONFIG["batch"]))
+    y = rng.integers(0, dims[-1], 4 * CONFIG["batch"])
+    params0 = MLPParams.init(dims, seed=1)
+
+    def one(mode, every):
+        res = elastic_mlp_train(
+            params0, x, y, pr=CONFIG["pr"], pc=CONFIG["pc"],
+            batch=CONFIG["batch"], steps=CONFIG["steps"],
+            checkpoint_every=every, ckpt_mode=mode,
+            parity=CONFIG["parity"], trace=True,
+        )
+        takes = [
+            e for e in res.engine.tracer.canonical()
+            if e.op == "ckpt.take" and int(e.tag[0]) > 0
+        ]
+        stored = sum(int(e.tag[2]) for e in takes)
+        return res.weights, res.sim.time, stored, len(takes)
+
+    # Checkpointing off: the periodic take never fires past step 0.
+    off_w, off_s, off_stored, _ = one("erasure", 2 * CONFIG["steps"])
+    assert off_stored == 0, "checkpoint-free run must store nothing"
+    er_w, er_s, er_stored, er_takes = one("erasure", CONFIG["checkpoint_every"])
+    rep_w, rep_s, rep_stored, rep_takes = one(
+        "replicate", CONFIG["checkpoint_every"]
+    )
+    assert er_takes == rep_takes > 0, "both modes must take the same steps"
+    return {
+        "schema": BENCH_SCHEMA,
+        "config": CONFIG,
+        "no_ckpt_s": off_s,
+        "erasure_s": er_s,
+        "replicate_s": rep_s,
+        "takes": er_takes,
+        "erasure_stored_bytes": er_stored,
+        "replicate_stored_bytes": rep_stored,
+        "reduction": rep_stored / er_stored,
+        "overhead": er_s / off_s,
+        "identical": all(
+            a.tobytes() == b.tobytes() for a, b in zip(er_w, off_w)
+        )
+        and all(a.tobytes() == b.tobytes() for a, b in zip(rep_w, off_w)),
+        "min_reduction": MIN_REDUCTION,
+        "max_overhead": MAX_OVERHEAD,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=BASELINE_PATH)
+    parser.add_argument("--update-baseline", action="store_true")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.0,
+        help="extra slack on the committed gates (fraction)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.tolerance < 0:
+        print("bench gate error: tolerance must be >= 0", file=sys.stderr)
+        return 2
+
+    record = run_checkpoint_bench()
+    print(f"config   : {record['config']}")
+    print(f"stored   : erasure {record['erasure_stored_bytes']} B vs "
+          f"replicate {record['replicate_stored_bytes']} B over "
+          f"{record['takes']} takes -> {record['reduction']:.2f}x reduction")
+    print(f"makespan : no-ckpt {record['no_ckpt_s']:.6f}s, erasure "
+          f"{record['erasure_s']:.6f}s, replicate "
+          f"{record['replicate_s']:.6f}s (virtual)")
+    print(f"overhead : {record['overhead']:.4f}x")
+
+    if args.update_baseline:
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline : updated {args.baseline}")
+        return 0
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read baseline {args.baseline!r}: {exc}", file=sys.stderr)
+        return 2
+    if baseline.get("schema") != BENCH_SCHEMA:
+        print(f"bad baseline schema {baseline.get('schema')!r}", file=sys.stderr)
+        return 2
+    if baseline.get("config") != record["config"]:
+        print("baseline config does not match this benchmark's config; "
+              "re-run with --update-baseline", file=sys.stderr)
+        return 2
+
+    failures = []
+    if not record["identical"]:
+        failures.append(
+            "checkpointed weights diverged bitwise from the checkpoint-free run"
+        )
+    floor = float(baseline["min_reduction"]) * (1.0 - args.tolerance)
+    if record["reduction"] < floor:
+        failures.append(
+            f"stored-bytes reduction {record['reduction']:.2f}x fell below "
+            f"the committed floor {floor:.2f}x"
+        )
+    ceiling = float(baseline["max_overhead"]) * (1.0 + args.tolerance)
+    if record["overhead"] > ceiling:
+        failures.append(
+            f"checkpoint overhead {record['overhead']:.4f}x exceeds the "
+            f"committed ceiling {ceiling:.4f}x"
+        )
+    for key in ("erasure_stored_bytes", "replicate_stored_bytes"):
+        if record[key] != baseline.get(key):
+            failures.append(
+                f"{key} changed: {record[key]} vs baseline "
+                f"{baseline.get(key)} (shard layout drifted; update the "
+                "baseline if intended)"
+            )
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print(f"gate     : PASS (reduction floor {floor:.2f}x, overhead "
+          f"ceiling {ceiling:.4f}x, baseline {baseline['reduction']:.2f}x / "
+          f"{baseline['overhead']:.4f}x)")
+    return 0
+
+
+def test_checkpoint_capacity_gate():
+    """Tier-2 hook so `pytest benchmarks/bench_checkpoint.py` runs the gate."""
+    assert main([]) == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,6 +27,13 @@ Version history
     runs, derived from the ``fault.*`` trace events.  Absent entirely
     for runs with no SDC activity, so unguarded records are
     byte-identical to v1 modulo the schema tag.
+``v3``
+    Adds the optional ``ckpt`` block: checkpoint-subsystem counters
+    (``takes`` / ``restores`` / ``degraded`` / ``stored_bytes`` /
+    ``fetched_bytes``), derived from the zero-duration ``ckpt.*``
+    marker events of :mod:`repro.dist.elastic` summed over all ranks.
+    Absent entirely for runs that never checkpoint, so earlier records
+    stay byte-identical modulo the schema tag.
 """
 
 from __future__ import annotations
@@ -43,6 +50,7 @@ __all__ = [
     "RUN_RECORD_SCHEMA",
     "SUPPORTED_SCHEMAS",
     "SDC_COUNTER_KEYS",
+    "CKPT_COUNTER_KEYS",
     "RunRecord",
     "validate_run_record",
     "build_run_record",
@@ -50,14 +58,30 @@ __all__ = [
     "write_run_record",
 ]
 
-RUN_RECORD_SCHEMA = "repro.analysis.record/v2"
+RUN_RECORD_SCHEMA = "repro.analysis.record/v3"
 
 #: Schemas this reader accepts; new records are always written at the
 #: current version, old baselines stay loadable.
-SUPPORTED_SCHEMAS = ("repro.analysis.record/v1", RUN_RECORD_SCHEMA)
+SUPPORTED_SCHEMAS = (
+    "repro.analysis.record/v1",
+    "repro.analysis.record/v2",
+    RUN_RECORD_SCHEMA,
+)
 
 #: The v2 ``sdc`` block's counter keys (all non-negative integers).
 SDC_COUNTER_KEYS = ("injected", "detected", "corrected", "recomputed", "escaped")
+
+#: The v3 ``ckpt`` block's counter keys (all non-negative integers,
+#: summed over all ranks): checkpoint takes, census restores, restores
+#: that had to *degrade* to an older step, bytes of checkpoint state
+#: stored, and bytes of shards fetched during recovery.
+CKPT_COUNTER_KEYS = (
+    "takes",
+    "restores",
+    "degraded",
+    "stored_bytes",
+    "fetched_bytes",
+)
 
 #: key -> (required, type check) for the top-level payload.
 _TOP_LEVEL: Dict[str, Tuple[bool, type]] = {
@@ -73,6 +97,7 @@ _TOP_LEVEL: Dict[str, Tuple[bool, type]] = {
     "counters": (True, dict),
     "dropped": (True, int),
     "sdc": (False, dict),
+    "ckpt": (False, dict),
     "meta": (False, dict),
 }
 
@@ -142,6 +167,13 @@ def validate_run_record(payload: Any) -> None:
             raise ConfigurationError(
                 f"sdc.{key} must be a non-negative integer, got {value!r}"
             )
+    for key, value in payload.get("ckpt", {}).items():
+        if key not in CKPT_COUNTER_KEYS:
+            raise ConfigurationError(f"ckpt block has unknown counter {key!r}")
+        if not isinstance(value, int) or value < 0:
+            raise ConfigurationError(
+                f"ckpt.{key} must be a non-negative integer, got {value!r}"
+            )
     critical = payload["critical"]
     if not isinstance(critical.get("length_s"), (int, float)):
         raise ConfigurationError("critical.length_s must be a number")
@@ -170,6 +202,9 @@ class RunRecord:
     #: SDC counters of a fault-injected / ABFT-guarded run (v2);
     #: empty — and omitted from the payload — when nothing happened.
     sdc: Dict[str, int] = dataclasses.field(default_factory=dict)
+    #: Checkpoint counters of an elastic run (v3); empty — and omitted
+    #: from the payload — when the run never checkpointed.
+    ckpt: Dict[str, int] = dataclasses.field(default_factory=dict)
 
     @property
     def config_key(self) -> Tuple:
@@ -203,6 +238,8 @@ class RunRecord:
         }
         if self.sdc:
             payload["sdc"] = dict(self.sdc)
+        if self.ckpt:
+            payload["ckpt"] = dict(self.ckpt)
         if self.meta:
             payload["meta"] = dict(self.meta)
         return payload
@@ -228,6 +265,7 @@ class RunRecord:
             dropped=int(payload["dropped"]),
             meta=dict(payload.get("meta", {})),
             sdc={k: int(v) for k, v in payload.get("sdc", {}).items()},
+            ckpt={k: int(v) for k, v in payload.get("ckpt", {}).items()},
         )
 
     @classmethod
@@ -274,6 +312,8 @@ def build_run_record(
     digest escorts), the v2 ``sdc`` block is derived from the
     ``fault.*`` events; clean unguarded traces produce no block at
     all, keeping their payloads comparable with v1 baselines.
+    Likewise, ``ckpt.take``/``ckpt.restore``/``ckpt.degraded`` marker
+    events of elastic runs yield the v3 ``ckpt`` counter block.
     """
     from repro.analysis.accounting import rank_accounting
     from repro.analysis.critical import critical_path
@@ -290,6 +330,17 @@ def build_run_record(
         "straggler_rank": accounting.straggler_rank,
     }
     ops = [e.op for e in events]
+    takes = [e for e in events if e.op == "ckpt.take"]
+    rsts = [e for e in events if e.op == "ckpt.restore"]
+    ckpt: Dict[str, int] = {}
+    if takes or rsts:
+        ckpt = {
+            "takes": len(takes),
+            "restores": len(rsts),
+            "degraded": ops.count("ckpt.degraded"),
+            "stored_bytes": sum(int(e.tag[2]) for e in takes),
+            "fetched_bytes": sum(int(e.tag[2]) for e in rsts),
+        }
     injected = ops.count("fault.bitflip")
     detected = ops.count("fault.sdc_detected")
     guard_bytes = sum(e.guard_bytes for e in events if e.op == "send")
@@ -321,6 +372,7 @@ def build_run_record(
         dropped=int(dropped),
         meta=dict(meta or {}),
         sdc=sdc,
+        ckpt=ckpt,
     )
 
 

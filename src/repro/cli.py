@@ -200,6 +200,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the last run's versioned RunRecord JSON to this path",
     )
 
+    chaos_p = sub.add_parser(
+        "chaos",
+        help=(
+            "chaos soak: run a gauntlet of crash/cascade/bit-flip/straggler "
+            "fault plans against erasure-coded checkpoints and verify every "
+            "survivable failure recovers bit-identically to full replication "
+            "(exit 0), every unsurvivable one is *declared* (exit 1), and "
+            "nothing ever diverges silently (exit 2)"
+        ),
+    )
+    chaos_p.add_argument(
+        "--trials",
+        type=int,
+        default=3,
+        help="extra randomized single-crash trials after the gauntlet (default 3)",
+    )
+    chaos_p.add_argument(
+        "--steps", type=int, default=8, help="training steps per run (default 8)"
+    )
+    chaos_p.add_argument(
+        "--parity",
+        type=int,
+        default=1,
+        help="parity shards per stripe for the baseline trials (default 1)",
+    )
+    chaos_p.add_argument(
+        "--seed", type=int, default=0, help="data/init/plan seed (default 0)"
+    )
+    chaos_p.add_argument(
+        "--over-parity",
+        action="store_true",
+        help=(
+            "include trials that exceed the parity budget (concurrent losses "
+            "> r, dropped messages): these must be *declared*, so the sweep "
+            "exits 1 by design"
+        ),
+    )
+    chaos_p.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        help="supervision timeout per run in real seconds (default 10)",
+    )
+    chaos_p.add_argument(
+        "--out",
+        default=None,
+        help=(
+            "directory for per-trial fault plans, RunRecords and the "
+            "chaos_summary.json verdict"
+        ),
+    )
+
     trace_p = sub.add_parser(
         "trace",
         help=(
@@ -504,13 +556,26 @@ def _run_faults(args) -> int:
     print(render_span_timeline(events, width=args.width))
     print()
     if result.recovered:
+        degraded_at = set(result.degraded_steps)
         for (gpr, gpc), at in zip(result.grids[1:], result.restore_steps):
             print(
                 f"recovery: shrank to a {gpr}x{gpc} grid, resumed from the "
                 f"step-{at} checkpoint"
+                + (" (DEGRADED: newer shards unrecoverable)" if at in degraded_at else "")
             )
     else:
         print("recovery: none needed")
+    injector = result.engine.injector
+    if injector is not None and injector.plan.stragglers:
+        slack = injector.straggler_slack()
+        print()
+        print("stragglers:")
+        for spec in injector.plan.stragglers:
+            jitter = f", jitter {spec.jitter:g}" if spec.jitter else ""
+            print(
+                f"  rank {spec.rank}: factor {spec.factor:g}{jitter} -> "
+                f"injected slack {slack.get(spec.rank, 0.0):.3e}s virtual"
+            )
     if args.record:
         from repro.analysis import write_run_record
         from repro.dist.elastic import elastic_run_record
@@ -657,6 +722,356 @@ def _run_sdc(args) -> int:
         "final weights bit-identical to the clean run"
     )
     return 0
+
+
+def _run_chaos(args) -> int:
+    import json
+    import os
+
+    import numpy as np
+
+    from repro.dist.elastic import elastic_mlp_train, elastic_run_record
+    from repro.dist.train import MLPParams
+    from repro.errors import ReproError
+    from repro.simmpi.faults import (
+        BitFlipFault,
+        Cascade,
+        Crash,
+        FaultPlan,
+        MessageDrop,
+        Straggler,
+    )
+
+    dims = (8, 10, 6)
+    pr, pc = 2, 4
+    batch = 8
+    steps = args.steps
+    if steps < 4:
+        print("chaos needs at least 4 steps", file=sys.stderr)
+        return 2
+    rng = np.random.default_rng(args.seed)
+    x = rng.standard_normal((dims[0], 4 * batch))
+    y = rng.integers(0, dims[-1], 4 * batch)
+    params0 = MLPParams.init(dims, seed=args.seed)
+    mid = max(2, steps // 2)
+
+    # The deterministic gauntlet: every failure archetype the checkpoint
+    # subsystem claims to survive, each as (name, plan, parity, sdc).
+    flip = BitFlipFault(
+        rank=0, target="matmul", layer=0, step=0, gemm="fwd", element=1, bit=40
+    )
+    trials = [
+        ("clean", FaultPlan(seed=args.seed), args.parity, None),
+        (
+            "crash-1",
+            FaultPlan(seed=args.seed, crashes=(Crash(1, at_step=mid),)),
+            args.parity,
+            None,
+        ),
+        (
+            "crash-seq-2",
+            FaultPlan(
+                seed=args.seed,
+                crashes=(
+                    Crash(1, at_step=max(1, steps // 3)),
+                    Crash(3, at_step=max(2, (2 * steps) // 3)),
+                ),
+            ),
+            args.parity,
+            None,
+        ),
+        (
+            # Ranks 1 and 2 share a row stripe, so this is a genuine
+            # 2-concurrent-loss test of a 2-shard parity budget.
+            "crash-concurrent-2-r2",
+            FaultPlan(
+                seed=args.seed,
+                crashes=(Crash(1, at_step=mid), Crash(2, at_step=mid)),
+            ),
+            2,
+            None,
+        ),
+        (
+            # Same double crash but across *different* row stripes:
+            # each stripe loses one chunk, so parity 1 suffices.
+            "crash-concurrent-2-split-r1",
+            FaultPlan(
+                seed=args.seed,
+                crashes=(Crash(1, at_step=mid), Crash(5, at_step=mid)),
+            ),
+            1,
+            None,
+        ),
+        (
+            # Two total losses (one mid-training, one mid-recovery), so
+            # this needs a 2-shard parity budget to recover exactly.
+            "cascade-r2",
+            FaultPlan(
+                seed=args.seed,
+                crashes=(Crash(1, at_step=mid),),
+                cascades=(Cascade(2, at_recovery=1),),
+            ),
+            2,
+            None,
+        ),
+        (
+            "bitflip-crash",
+            FaultPlan(
+                seed=args.seed, crashes=(Crash(2, at_step=mid),), bitflips=(flip,)
+            ),
+            args.parity,
+            "correct",
+        ),
+        (
+            "straggler-crash",
+            FaultPlan(
+                seed=args.seed,
+                crashes=(Crash(3, at_step=mid),),
+                stragglers=(Straggler(rank=0, factor=1.5),),
+            ),
+            args.parity,
+            None,
+        ),
+    ]
+    plan_rng = np.random.default_rng(args.seed + 1)
+    for t in range(args.trials):
+        trials.append(
+            (
+                f"random-{t}",
+                FaultPlan(
+                    seed=args.seed,
+                    crashes=(
+                        Crash(
+                            int(plan_rng.integers(0, pr * pc)),
+                            at_step=int(plan_rng.integers(1, steps)),
+                        ),
+                    ),
+                ),
+                args.parity,
+                None,
+            )
+        )
+    if args.over_parity:
+        trials += [
+            (
+                # Two concurrent losses in one row stripe with a single
+                # parity shard: unrecoverable past step 0 by design.
+                "over-parity-2-r1",
+                FaultPlan(
+                    seed=args.seed,
+                    crashes=(Crash(1, at_step=mid), Crash(2, at_step=mid)),
+                ),
+                1,
+                None,
+            ),
+            (
+                "cascade-r1",
+                FaultPlan(
+                    seed=args.seed,
+                    crashes=(Crash(1, at_step=mid),),
+                    cascades=(Cascade(2, at_recovery=1),),
+                ),
+                1,
+                None,
+            ),
+            (
+                "drop",
+                FaultPlan(
+                    seed=args.seed, drops=(MessageDrop(rank=0, send_index=5),)
+                ),
+                args.parity,
+                None,
+            ),
+        ]
+
+    want_artifacts = args.out is not None
+    if want_artifacts:
+        os.makedirs(args.out, exist_ok=True)
+
+    def run_mode(mode, plan, parity, sdc):
+        try:
+            return (
+                elastic_mlp_train(
+                    params0, x, y, pr=pr, pc=pc, batch=batch, steps=steps,
+                    checkpoint_every=2, ckpt_mode=mode, parity=parity,
+                    faults=plan, sdc=sdc, trace=want_artifacts,
+                    timeout=args.timeout,
+                ),
+                None,
+            )
+        except ReproError as exc:
+            return None, exc
+
+    print(
+        f"chaos soak: {len(trials)} trials on a {pr}x{pc} grid, dims {dims}, "
+        f"{steps} steps, checkpoint every 2, parity {args.parity} "
+        f"(each trial: erasure-coded shards vs full replication)"
+    )
+    # Oracle: one clean replicated run.  Its store holds the full
+    # original-grid checkpoint at every take step; the pre-crash
+    # trajectory of every faulted run is bit-identical to it, so any
+    # first restore must reproduce the oracle's checkpoint bit-exactly.
+    oracle, oracle_err = run_mode("replicate", None, args.parity, None)
+    if oracle_err is not None:
+        print(f"chaos: clean oracle run failed: {oracle_err}", file=sys.stderr)
+        return 2
+
+    def ckpt_equal(a, b):
+        if a.step != b.step or tuple(a.losses) != tuple(b.losses):
+            return False
+        if len(a.weights) != len(b.weights):
+            return False
+        if not all(
+            p.tobytes() == q.tobytes() for p, q in zip(a.weights, b.weights)
+        ):
+            return False
+        if (a.velocity is None) != (b.velocity is None):
+            return False
+        if a.velocity is not None and not all(
+            p.tobytes() == q.tobytes() for p, q in zip(a.velocity, b.velocity)
+        ):
+            return False
+        return True
+
+    outcomes = []
+    rows = []
+    for name, plan, parity, sdc in trials:
+        e_res, e_err = run_mode("erasure", plan, parity, sdc)
+        r_res, r_err = run_mode("replicate", plan, parity, sdc)
+        detail = ""
+        if e_err is not None:
+            # The run itself refused to continue — a *declared* failure,
+            # never a silently wrong answer.
+            outcome, detail = "declared-failed", str(e_err)
+        elif e_res.degraded_steps:
+            outcome = "declared-degraded"
+            detail = (
+                f"restored step(s) {e_res.restore_steps} "
+                f"(degraded at {e_res.degraded_steps})"
+            )
+        elif r_err is not None:
+            outcome, detail = "declared-failed", f"reference run: {r_err}"
+        elif (
+            e_res.grids == r_res.grids
+            and e_res.restore_steps == r_res.restore_steps
+        ):
+            # Identical recovery trajectories: the whole runs must be
+            # bit-for-bit interchangeable.
+            same = all(
+                a.tobytes() == b.tobytes()
+                for a, b in zip(e_res.weights, r_res.weights)
+            )
+            outcome = "exact" if same else "SILENT-DIVERGENCE"
+            if e_res.recovered:
+                detail = (
+                    f"recovered from {sorted(e_res.sim.failed)} via "
+                    f"step(s) {e_res.restore_steps}"
+                )
+        else:
+            # Trajectories diverged.  Legitimate only one way: a crash
+            # landing on a take step tears the replicated all-gather but
+            # not the purely local erasure encode, so erasure restores a
+            # *newer* step.  Then the restored state must still match
+            # the clean oracle's checkpoint bit-exactly, and both modes
+            # must converge to the same weights up to reduction order.
+            ahead = len(e_res.restore_steps) == len(r_res.restore_steps) and all(
+                es >= rs
+                for es, rs in zip(e_res.restore_steps, r_res.restore_steps)
+            )
+            first = e_res.restored[0] if e_res.restored else None
+            holding = (
+                oracle.store.get(first.step) if first is not None else None
+            )
+            first_ok = holding is not None and ckpt_equal(
+                first, holding.checkpoint
+            )
+            close = all(
+                np.allclose(a, b, atol=1e-9)
+                for a, b in zip(e_res.weights, r_res.weights)
+            )
+            if ahead and first_ok and close:
+                outcome = "exact-ahead"
+                detail = (
+                    f"erasure restored step(s) {e_res.restore_steps} vs "
+                    f"replication's {r_res.restore_steps}; restored state "
+                    "bit-identical to the clean oracle"
+                )
+            else:
+                outcome = "SILENT-DIVERGENCE"
+                detail = (
+                    f"erasure restored {e_res.restore_steps} (grids "
+                    f"{e_res.grids}) vs replication {r_res.restore_steps} "
+                    f"(grids {r_res.grids}); ahead={ahead} "
+                    f"oracle-match={first_ok} converged={close}"
+                )
+        outcomes.append((name, outcome))
+        rows.append(
+            {
+                "trial": name,
+                "parity": parity,
+                "outcome": outcome,
+                "detail": detail,
+                "failed_ranks": sorted(e_res.sim.failed) if e_res else None,
+                "restore_steps": e_res.restore_steps if e_res else None,
+                "degraded_steps": e_res.degraded_steps if e_res else None,
+            }
+        )
+        width = max(len(n) for n, _, _, _ in trials)
+        print(f"  {name:<{width}}  {outcome}" + (f"  [{detail}]" if detail else ""))
+        if want_artifacts:
+            stem = os.path.join(args.out, f"trial_{name}")
+            with open(f"{stem}.plan.json", "w", encoding="utf-8") as fh:
+                fh.write(plan.to_json())
+            if e_res is not None:
+                from repro.analysis import write_run_record
+
+                record = elastic_run_record(
+                    e_res, batch=batch, steps=steps, checkpoint_every=2,
+                    ckpt_mode="erasure", parity=parity, sdc=sdc,
+                    meta={"chaos_trial": name},
+                )
+                write_run_record(record, f"{stem}.record.json")
+    kinds = {o for _, o in outcomes}
+    if "SILENT-DIVERGENCE" in kinds:
+        code = 2
+        verdict = (
+            "erasure-coded recovery silently diverged from the replicated "
+            "reference"
+        )
+    elif "declared-failed" in kinds or "declared-degraded" in kinds:
+        code = 1
+        verdict = (
+            "every loss beyond the parity budget was declared; nothing "
+            "diverged silently"
+        )
+    else:
+        code = 0
+        verdict = (
+            "every trial recovered bit-identically to the replicated reference"
+        )
+    print(f"VERDICT : {verdict}", file=sys.stderr if code == 2 else sys.stdout)
+    if want_artifacts:
+        summary_path = os.path.join(args.out, "chaos_summary.json")
+        with open(summary_path, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "config": {
+                        "dims": list(dims), "pr": pr, "pc": pc, "batch": batch,
+                        "steps": steps, "parity": args.parity,
+                        "seed": args.seed, "trials": len(trials),
+                        "over_parity": bool(args.over_parity),
+                    },
+                    "trials": rows,
+                    "exit_code": code,
+                    "verdict": verdict,
+                },
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
+            fh.write("\n")
+        print(f"wrote   : {summary_path}")
+    return code
 
 
 #: Network presets for ``repro trace`` — small enough to simulate quickly,
@@ -875,6 +1290,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_faults(args)
     if args.command == "sdc":
         return _run_sdc(args)
+    if args.command == "chaos":
+        return _run_chaos(args)
     if args.command == "trace":
         return _run_trace(args)
     if args.command == "diff":

@@ -68,11 +68,17 @@ __all__ = [
     "integrated_mb_cost",
     "integrated_cost",
     "sdc_guard_cost_terms",
+    "checkpoint_chunk_bytes",
+    "checkpoint_state_bytes",
+    "checkpoint_cost_terms",
+    "checkpoint_recovery_cost_terms",
     "BATCH_CATEGORIES",
     "MODEL_CATEGORIES",
     "DOMAIN_CATEGORIES",
     "ABFT_CATEGORIES",
     "ABFT_DIGEST_CATEGORY",
+    "CKPT_CATEGORIES",
+    "CKPT_CENSUS_FIELDS",
 ]
 
 BATCH_CATEGORIES = ("batch.allreduce_dw",)
@@ -93,6 +99,18 @@ ABFT_DIGEST_CATEGORY = {
     "model.allreduce_dx": "abft.digest_dx",
     "batch.allreduce_dw": "abft.digest_dw",
 }
+
+CKPT_CATEGORIES = (
+    "ckpt.replicate",
+    "ckpt.parity",
+    "ckpt.census",
+    "ckpt.fetch",
+)
+
+#: Ints per shard descriptor in the census allgather (8 bytes each in
+#: the simulator's payload accounting) — must match
+#: ``repro.dist.erasure.CENSUS_FIELDS``.
+CKPT_CENSUS_FIELDS = 8
 
 
 @dataclasses.dataclass(frozen=True)
@@ -467,3 +485,166 @@ def domain_parallel_cost(
         ),
     )
     return integrated_cost(network, batch, strategy, machine)
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint traffic (erasure-coded sharded checkpoints; repro.dist.elastic)
+# ---------------------------------------------------------------------------
+
+#: The simulated trainer stores float64 state, so checkpoint byte math is
+#: pinned to 8-byte elements regardless of ``machine.element_bytes``.
+_CKPT_ELEMENT_BYTES = 8
+
+
+def _ckpt_row_elems(dims: Tuple[int, ...], pr: int, row: int) -> int:
+    """Weight elements held by model-row ``row`` across all layers."""
+    total = 0
+    for i in range(len(dims) - 1):
+        base, rem = divmod(dims[i + 1], pr)
+        rows = base + (1 if row < rem else 0)
+        total += rows * dims[i]
+    return total
+
+
+def checkpoint_state_bytes(dims: Tuple[int, ...], *, momentum: bool = False) -> int:
+    """Total bytes of one full checkpoint (all weights, + velocity)."""
+    elems = sum(dims[i + 1] * dims[i] for i in range(len(dims) - 1))
+    return elems * _CKPT_ELEMENT_BYTES * (2 if momentum else 1)
+
+
+def checkpoint_chunk_bytes(
+    dims: Tuple[int, ...], *, pr: int, k: int, momentum: bool = False
+) -> int:
+    """Uniform stripe chunk size used by the erasure-coded shard layout.
+
+    Mirrors ``repro.dist.erasure.chunk_bytes``: the widest model row's
+    packed state, ceil-divided by ``k`` data chunks, floored at one byte
+    so degenerate layers still stripe.
+    """
+    if pr < 1 or k < 1:
+        raise StrategyError("checkpoint_chunk_bytes needs pr >= 1 and k >= 1")
+    widest = 0
+    for row in range(pr):
+        row_bytes = _ckpt_row_elems(dims, pr, row) * _CKPT_ELEMENT_BYTES
+        if momentum:
+            row_bytes *= 2
+        widest = max(widest, row_bytes)
+    return max(1, -(-widest // k))
+
+
+def checkpoint_cost_terms(
+    dims: Tuple[int, ...],
+    *,
+    pr: int,
+    pc: int,
+    machine: MachineParams,
+    parity: int = 1,
+    momentum: bool = False,
+    mode: str = "erasure",
+) -> CostBreakdown:
+    """Cost terms for ONE checkpoint take on a ``pr x pc`` grid.
+
+    ``mode="replicate"`` gathers every layer's weight blocks (and
+    velocity blocks when ``momentum``) over the ``pr``-sized column
+    groups, so each process moves ``(pr-1)/pr |W_i|`` elements per
+    state tensor (zero when ``pr == 1`` — every rank already holds the
+    full rows).  ``mode="erasure"`` writes one locally-encoded chunk of
+    ``chunk_bytes`` per rank and moves nothing on the wire; the term's
+    volume records the stored chunk (in elements) for capacity
+    accounting, exactly as the ``abft.checksum_*`` terms record local
+    work.  An erasure request with ``pc - parity < 1`` falls back to
+    replicate terms, matching the trainer.
+    """
+    if mode not in ("erasure", "replicate"):
+        raise StrategyError(f"unknown checkpoint mode {mode!r}")
+    if pr < 1 or pc < 1:
+        raise StrategyError("checkpoint_cost_terms needs pr >= 1 and pc >= 1")
+    k = pc - parity
+    terms: List[CostTerm] = []
+    if mode == "erasure" and k >= 1:
+        chunk = checkpoint_chunk_bytes(dims, pr=pr, k=k, momentum=momentum)
+        terms.append(
+            CostTerm(
+                "ckpt",
+                0,
+                "ckpt.parity",
+                CollectiveCost.zero(),
+                chunk / _CKPT_ELEMENT_BYTES,
+            )
+        )
+        return CostBreakdown(tuple(terms))
+    kinds = ("W", "V") if momentum else ("W",)
+    for i in range(len(dims) - 1):
+        elems = dims[i + 1] * dims[i]
+        for kind in kinds:
+            terms.append(
+                CostTerm(
+                    f"{kind}{i + 1}",
+                    i + 1,
+                    "ckpt.replicate",
+                    allgather_bruck(pr, elems, machine),
+                    elems * (pr - 1) / pr,
+                )
+            )
+    return CostBreakdown(tuple(terms))
+
+
+def checkpoint_recovery_cost_terms(
+    *,
+    survivors: int,
+    held: Tuple[int, ...],
+    machine: MachineParams,
+    dims: Tuple[int, ...] | None = None,
+    step: int | None = None,
+    pr: int | None = None,
+    k: int | None = None,
+    momentum: bool = False,
+    have: Tuple[int, ...] | None = None,
+) -> CostBreakdown:
+    """Cost terms for ONE census + (optional) shard-fetch recovery round.
+
+    ``held`` gives each survivor's descriptor count for the census
+    allgather (``CKPT_CENSUS_FIELDS`` 8-byte ints per descriptor).  When
+    the census chooses an erasure checkpoint, pass ``have`` (shards of
+    the chosen step per survivor) plus the stripe geometry
+    (``dims``/``step``/``pr``/``k``) and a ``ckpt.fetch`` term is added:
+    each fetched shard carries a 16-byte ``(row, col)`` header, the
+    ``chunk_bytes`` payload, and the 8-byte-per-entry loss history up to
+    ``step``.  A replicate restore moves nothing (the survivor's local
+    copy is used), so ``have=None`` yields census-only terms.
+    """
+    if survivors < 1:
+        raise StrategyError("checkpoint_recovery_cost_terms needs survivors >= 1")
+    if len(held) != survivors:
+        raise StrategyError("held must list one descriptor count per survivor")
+    terms: List[CostTerm] = []
+    census_elems = sum(held) * CKPT_CENSUS_FIELDS
+    terms.append(
+        CostTerm(
+            "ckpt",
+            0,
+            "ckpt.census",
+            allgather_bruck(survivors, census_elems, machine),
+            census_elems * (survivors - 1) / survivors,
+        )
+    )
+    if have is not None:
+        if dims is None or step is None or pr is None or k is None:
+            raise StrategyError(
+                "ckpt.fetch terms need dims, step, pr and k for the stripe geometry"
+            )
+        if len(have) != survivors:
+            raise StrategyError("have must list one shard count per survivor")
+        chunk = checkpoint_chunk_bytes(dims, pr=pr, k=k, momentum=momentum)
+        shard_bytes = 16 + chunk + _CKPT_ELEMENT_BYTES * step
+        fetch_elems = sum(have) * shard_bytes / _CKPT_ELEMENT_BYTES
+        terms.append(
+            CostTerm(
+                "ckpt",
+                0,
+                "ckpt.fetch",
+                allgather_bruck(survivors, fetch_elems, machine),
+                fetch_elems * (survivors - 1) / survivors,
+            )
+        )
+    return CostBreakdown(tuple(terms))

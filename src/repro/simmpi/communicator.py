@@ -248,7 +248,9 @@ class Comm:
             raise CommunicatorError(f"cannot advance clock by {seconds}")
         injector = self._engine.injector
         if injector is not None and injector.has_straggler(self._world_rank):
-            seconds = seconds * injector.compute_factor(self._world_rank)
+            dilated = seconds * injector.compute_factor(self._world_rank)
+            injector.note_straggler_slack(self._world_rank, dilated - seconds)
+            seconds = dilated
         self._engine.advance_clock(self._world_rank, seconds)
         if injector is not None:
             injector.check_crash(self._world_rank, time=self.clock)
@@ -624,6 +626,11 @@ class Comm:
         engine = self._engine
         if not engine.supervise:
             raise CommunicatorError("shrink requires a supervised engine")
+        injector = engine.injector
+        if injector is not None and injector.has_cascades():
+            # Cascading-failure schedules fire here: entering recovery
+            # is exactly when a scripted cascade kills this rank.
+            injector.check_cascade(self._world_rank, time=self.clock)
         from repro.telemetry.spans import span
 
         with span("shrink", comm=self, gen=self._gen):

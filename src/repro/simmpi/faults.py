@@ -10,6 +10,11 @@ A :class:`FaultPlan` is a declarative description of every fault to
 inject into one run:
 
 * :class:`Crash` — a rank dies at a training step or virtual time;
+  several crashes naming the same step model **concurrent** failures
+  (they all register within one failure generation);
+* :class:`Cascade` — a crash *during recovery*: the rank dies when it
+  enters its ``at_recovery``-th ULFM shrink, so the survivors' recovery
+  attempt is itself interrupted and must restart;
 * :class:`TransientFault` — the ``n``-th send of a rank fails
   transiently ``attempts`` times (the communicator retries with
   exponential backoff), or every send fails with probability ``p``;
@@ -46,6 +51,7 @@ from repro.machine.params import MachineParams
 
 __all__ = [
     "Crash",
+    "Cascade",
     "TransientFault",
     "MessageDrop",
     "LinkFault",
@@ -74,6 +80,28 @@ class Crash:
             raise ConfigurationError(f"at_step must be >= 0, got {self.at_step}")
         if self.at_time is not None and self.at_time < 0:
             raise ConfigurationError(f"at_time must be >= 0, got {self.at_time}")
+
+
+@dataclasses.dataclass(frozen=True)
+class Cascade:
+    """Rank ``rank`` dies while *recovering*: the crash fires when the
+    rank enters its ``at_recovery``-th ULFM shrink (1-based).
+
+    This is the cascading-failure schedule the plain :class:`Crash`
+    cannot express — a survivor of an earlier failure going down in the
+    middle of the shrink/census/restore sequence, forcing the remaining
+    ranks to abort and restart recovery."""
+
+    rank: int
+    at_recovery: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ConfigurationError(f"cascade rank must be >= 0, got {self.rank}")
+        if self.at_recovery < 1:
+            raise ConfigurationError(
+                f"at_recovery must be >= 1, got {self.at_recovery}"
+            )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -237,6 +265,7 @@ class FaultPlan:
 
     seed: int = 0
     crashes: Tuple[Crash, ...] = ()
+    cascades: Tuple[Cascade, ...] = ()
     transients: Tuple[TransientFault, ...] = ()
     drops: Tuple[MessageDrop, ...] = ()
     links: Tuple[LinkFault, ...] = ()
@@ -247,7 +276,10 @@ class FaultPlan:
 
     def __post_init__(self) -> None:
         # Normalise lists to tuples so plans are hashable/frozen.
-        for field in ("crashes", "transients", "drops", "links", "stragglers", "bitflips"):
+        for field in (
+            "crashes", "cascades", "transients", "drops", "links",
+            "stragglers", "bitflips",
+        ):
             value = getattr(self, field)
             if not isinstance(value, tuple):
                 object.__setattr__(self, field, tuple(value))
@@ -262,6 +294,7 @@ class FaultPlan:
     def empty(self) -> bool:
         return not (
             self.crashes
+            or self.cascades
             or self.transients
             or self.drops
             or self.links
@@ -273,6 +306,7 @@ class FaultPlan:
 
     _KINDS = {
         "crashes": Crash,
+        "cascades": Cascade,
         "transients": TransientFault,
         "drops": MessageDrop,
         "links": LinkFault,
@@ -407,6 +441,9 @@ class FaultInjector:
         self._crashes_by_rank: Dict[int, List[Crash]] = {}
         for c in plan.crashes:
             self._crashes_by_rank.setdefault(c.rank, []).append(c)
+        self._cascades_by_rank: Dict[int, List[Cascade]] = {}
+        for ca in plan.cascades:
+            self._cascades_by_rank.setdefault(ca.rank, []).append(ca)
         self._transients_by_rank: Dict[int, List[TransientFault]] = {}
         for t in plan.transients:
             self._transients_by_rank.setdefault(t.rank, []).append(t)
@@ -436,6 +473,8 @@ class FaultInjector:
         self._flip_fires: Dict[BitFlipFault, int] = {}
         self._rngs: Dict[int, np.random.Generator] = {}
         self._jitter_rngs: Dict[int, np.random.Generator] = {}
+        self._recovery_count: Dict[int, int] = {}
+        self._slack: Dict[int, float] = {}
 
     # -- crashes -------------------------------------------------------------
 
@@ -467,6 +506,28 @@ class FaultInjector:
         crash = self.crash_due(rank, step=step, time=time)
         if crash is not None:
             raise SimulatedCrashError(rank, step=crash.at_step, at_time=crash.at_time)
+
+    # -- cascading failures --------------------------------------------------
+
+    def has_cascades(self) -> bool:
+        return bool(self._cascades_by_rank)
+
+    def check_cascade(self, rank: int, *, time: Optional[float] = None) -> None:
+        """Count a shrink entry for ``rank``; raise if a cascade fires.
+
+        Called from the rank's own thread at the top of every ULFM
+        shrink, so ``at_recovery=1`` kills the rank the first time it
+        tries to recover from someone *else's* failure — the cascading
+        schedule.  Each cascade fires once.
+        """
+        count = self._recovery_count.get(rank, 0) + 1
+        self._recovery_count[rank] = count
+        for cascade in self._cascades_by_rank.get(rank, ()):
+            if cascade in self._fired:
+                continue
+            if cascade.at_recovery == count:
+                self._fired.add(cascade)
+                raise SimulatedCrashError(rank, step=None, at_time=time)
 
     # -- sends ---------------------------------------------------------------
 
@@ -584,3 +645,16 @@ class FaultInjector:
             rng = np.random.default_rng((self.plan.seed, 0x9E3779B9, rank))
             self._jitter_rngs[rank] = rng
         return spec.factor + spec.jitter * float(rng.random())
+
+    def note_straggler_slack(self, rank: int, extra: float) -> None:
+        """Account virtual seconds added to ``rank`` by straggler dilation.
+
+        Called from the rank's own thread by the communicator whenever
+        an ``advance`` is dilated; the accumulated slack is what the
+        fault report surfaces (stragglers are otherwise invisible — they
+        shift timings without leaving a trace event)."""
+        self._slack[rank] = self._slack.get(rank, 0.0) + extra
+
+    def straggler_slack(self) -> Dict[int, float]:
+        """Accumulated injected slack, in virtual seconds, by rank."""
+        return dict(self._slack)

@@ -57,8 +57,10 @@ __all__ = [
     "AuditTerm",
     "AuditReport",
     "audit_events",
+    "audit_checkpoint_events",
     "audit_mlp_15d",
     "PHASE_CATEGORY",
+    "CKPT_SPAN_CATEGORY",
 ]
 
 #: Trainer span name -> cost-model category (Eq. 8's three sums).
@@ -70,6 +72,15 @@ PHASE_CATEGORY = {
 
 #: The simulated payloads are float64 NumPy arrays.
 SIM_ELEMENT_BYTES = 8
+
+#: Checkpoint-subsystem span name -> cost-model category.  ``checkpoint``
+#: spans resolve to ``ckpt.replicate`` or ``ckpt.parity`` by their
+#: ``mode`` attribute.
+CKPT_SPAN_CATEGORY = {
+    "checkpoint": "ckpt.replicate",
+    "ckpt_census": "ckpt.census",
+    "ckpt_fetch": "ckpt.fetch",
+}
 
 
 @dataclasses.dataclass(frozen=True)
@@ -295,6 +306,181 @@ def audit_events(
             )
     return AuditReport(
         tuple(terms), pr=pr, pc=pc, batch=batch, steps=steps, dropped=dropped
+    )
+
+
+def _ckpt_span_instances(
+    events: Sequence[TraceEvent],
+) -> Dict[str, Dict[int, list]]:
+    """Per family, per rank: the ``checkpoint``/``ckpt_census``/
+    ``ckpt_fetch`` span instances, time-ordered, each paired with the
+    measured (bytes, messages) of the sends it encloses."""
+    spans: Dict[str, Dict[int, list]] = {name: {} for name in CKPT_SPAN_CATEGORY}
+    for e in events:
+        if e.op != "span" or not e.span:
+            continue
+        name = base_name(e.span[-1])
+        if name in spans:
+            attrs = dict(e.tag)
+            spans[name].setdefault(e.rank, []).append(
+                {"t0": e.t_start, "t1": e.t_end, "attrs": attrs,
+                 "bytes": 0, "msgs": 0}
+            )
+    for per_rank in spans.values():
+        for instances in per_rank.values():
+            instances.sort(key=lambda inst: inst["t0"])
+    unassigned = 0
+    for e in events:
+        if e.op != "send":
+            continue
+        for label in reversed(e.span):
+            name = base_name(label)
+            if name not in spans:
+                continue
+            hit = None
+            for inst in spans[name].get(e.rank, ()):
+                if inst["t0"] <= e.t_start <= inst["t1"]:
+                    hit = inst
+                    break
+            if hit is None:
+                unassigned += 1
+            else:
+                hit["bytes"] += e.data_bytes
+                hit["msgs"] += 1
+            break
+    if unassigned:
+        raise ConfigurationError(
+            f"{unassigned} sends inside checkpoint spans could not be "
+            "matched to a recorded span instance (partial trace?)"
+        )
+    return spans
+
+
+def audit_checkpoint_events(
+    events: Sequence[TraceEvent],
+    dims: Sequence[int],
+    *,
+    pr: int = 0,
+    pc: int = 0,
+    batch: int = 0,
+    dropped: int = 0,
+) -> AuditReport:
+    """Audit checkpoint/recovery traffic of an elastic trace.
+
+    Closes the loop on the ``ckpt.*`` cost terms
+    (:func:`repro.core.costs.checkpoint_cost_terms` and
+    :func:`~repro.core.costs.checkpoint_recovery_cost_terms`): every
+    ``checkpoint`` span's gather traffic, every recovery's shard
+    census and every erasure fetch is compared, summed over all ranks
+    per event, against the closed forms — zero relative error on both
+    bytes and message counts for any grid, any crash pattern and any
+    parity.  Span instances are aligned across ranks by per-rank
+    occurrence order (the trainer is SPMD, so survivors see the same
+    sequence of takes and recoveries).
+
+    ``pr``/``pc``/``batch`` are report metadata only (the initial grid);
+    the per-event grids come from the span labels themselves.
+    """
+    from repro.core.costs import checkpoint_chunk_bytes
+
+    num_layers = len(dims) - 1
+    spans = _ckpt_span_instances(events)
+    terms = []
+
+    def _grouped(family: str, keyer):
+        """Align instances across ranks: (key attrs, per-rank ordinal)."""
+        groups: Dict[tuple, list] = {}
+        for instances in spans[family].values():
+            ordinals: Dict[tuple, int] = {}
+            for inst in instances:
+                key = keyer(inst["attrs"])
+                j = ordinals.get(key, 0)
+                ordinals[key] = j + 1
+                groups.setdefault((key, j), []).append(inst)
+        return groups
+
+    # --- checkpoint takes -------------------------------------------------
+    take_groups = _grouped(
+        "checkpoint",
+        lambda a: (a.get("step"), a.get("mode"), a.get("pr"),
+                   a.get("pc"), a.get("mom")),
+    )
+    for (key, _j), insts in sorted(take_groups.items(), key=lambda kv: kv[0][0]):
+        step, mode, g_pr, g_pc, mom = key
+        meas_bytes = sum(i["bytes"] for i in insts)
+        meas_msgs = sum(i["msgs"] for i in insts)
+        if mode == "erasure":
+            pred_bytes, pred_msgs = 0.0, 0.0
+            category = "ckpt.parity"
+        else:
+            state = sum(dims[i + 1] * dims[i] for i in range(num_layers))
+            state *= SIM_ELEMENT_BYTES * (2 if mom else 1)
+            pred_bytes = g_pc * (g_pr - 1) * state if g_pr > 1 else 0.0
+            pred_msgs = (
+                (2 if mom else 1) * num_layers
+                * g_pr * g_pc * math.ceil(math.log2(g_pr))
+                if g_pr > 1 else 0.0
+            )
+            category = "ckpt.replicate"
+        terms.append(
+            AuditTerm(
+                layer_index=int(step),
+                category=category,
+                predicted_bytes=pred_bytes,
+                measured_bytes=meas_bytes,
+                predicted_messages=pred_msgs,
+                measured_messages=meas_msgs,
+            )
+        )
+
+    # --- recovery: shard census ------------------------------------------
+    census_groups = _grouped("ckpt_census", lambda a: ())
+    for (_key, j), insts in sorted(census_groups.items(), key=lambda kv: kv[0][1]):
+        s = len(insts)
+        held_bytes = sum(
+            i["attrs"].get("held", 0) * 8 * SIM_ELEMENT_BYTES for i in insts
+        )
+        terms.append(
+            AuditTerm(
+                layer_index=j,
+                category="ckpt.census",
+                predicted_bytes=(s - 1) * held_bytes,
+                measured_bytes=sum(i["bytes"] for i in insts),
+                predicted_messages=s * math.ceil(math.log2(s)) if s > 1 else 0.0,
+                measured_messages=sum(i["msgs"] for i in insts),
+            )
+        )
+
+    # --- recovery: erasure shard fetch -----------------------------------
+    fetch_groups = _grouped(
+        "ckpt_fetch",
+        lambda a: (a.get("step"), a.get("prt"), a.get("k"),
+                   a.get("r"), a.get("mom")),
+    )
+    for (key, j), insts in sorted(
+        fetch_groups.items(), key=lambda kv: (kv[0][1], kv[0][0][0])
+    ):
+        step, prt, k, _r, mom = key
+        s = len(insts)
+        chunk = checkpoint_chunk_bytes(
+            tuple(dims), pr=int(prt), k=int(k), momentum=bool(mom)
+        )
+        # One fetched shard = 16-byte (row, col) header + chunk payload
+        # + the loss history (one float per completed step).
+        shard_bytes = 16 + chunk + SIM_ELEMENT_BYTES * int(step)
+        have = sum(i["attrs"].get("have", 0) for i in insts)
+        terms.append(
+            AuditTerm(
+                layer_index=int(step),
+                category="ckpt.fetch",
+                predicted_bytes=(s - 1) * have * shard_bytes,
+                measured_bytes=sum(i["bytes"] for i in insts),
+                predicted_messages=s * math.ceil(math.log2(s)) if s > 1 else 0.0,
+                measured_messages=sum(i["msgs"] for i in insts),
+            )
+        )
+    return AuditReport(
+        tuple(terms), pr=pr, pc=pc, batch=batch, steps=1, dropped=dropped
     )
 
 

@@ -206,3 +206,58 @@ class TestEveryTrainerEmits:
 
     def test_schema_tag(self):
         assert _mlp_record().to_dict()["schema"] == RUN_RECORD_SCHEMA
+
+
+class TestCheckpointCounters:
+    def _elastic_record(self, **train_kw):
+        rng = np.random.default_rng(3)
+        dims = (8, 10, 6)
+        x = rng.standard_normal((dims[0], 32))
+        y = rng.integers(0, dims[-1], 32)
+        plan = FaultPlan(seed=3, crashes=(Crash(rank=1, at_step=3),))
+        result = elastic_mlp_train(
+            MLPParams.init(dims, seed=3), x, y, pr=2, pc=2, batch=8,
+            steps=6, checkpoint_every=2, faults=plan, trace=True, **train_kw,
+        )
+        return elastic_run_record(result, batch=8, steps=6)
+
+    def test_elastic_record_carries_ckpt_block(self):
+        record = self._elastic_record()
+        validate_run_record(record.to_dict())
+        ckpt = record.ckpt
+        # Marker events are per rank: one restore per survivor.
+        assert ckpt["takes"] > 0 and ckpt["restores"] == 3
+        assert ckpt["degraded"] == 0
+        assert ckpt["stored_bytes"] > 0 and ckpt["fetched_bytes"] > 0
+        # Replication stores the full state everywhere: strictly more.
+        replicated = self._elastic_record(ckpt_mode="replicate")
+        assert replicated.ckpt["stored_bytes"] > ckpt["stored_bytes"]
+
+    def test_ckpt_block_round_trips(self):
+        record = self._elastic_record()
+        again = RunRecord.from_json(record.to_json())
+        assert again.ckpt == record.ckpt
+        assert again == record
+
+    def test_untraced_runs_omit_ckpt(self):
+        payload = _mlp_record().to_dict()
+        assert "ckpt" not in payload
+
+    def test_older_schemas_still_load(self):
+        payload = _mlp_record().to_dict()
+        for old in ("repro.analysis.record/v1", "repro.analysis.record/v2"):
+            older = dict(payload)
+            older["schema"] = old
+            record = RunRecord.from_dict(older)
+            assert record.ckpt == {}
+
+    def test_validator_rejects_bad_ckpt(self):
+        payload = self._elastic_record().to_dict()
+        bad = dict(payload)
+        bad["ckpt"] = {**payload["ckpt"], "mystery": 1}
+        with pytest.raises(ConfigurationError, match="unknown"):
+            validate_run_record(bad)
+        bad = dict(payload)
+        bad["ckpt"] = {**payload["ckpt"], "takes": -1}
+        with pytest.raises(ConfigurationError):
+            validate_run_record(bad)

@@ -469,6 +469,54 @@ class TestFaults:
         assert "max |w - serial|" in out
 
 
+class TestChaos:
+    FAST = ["chaos", "--trials", "0", "--steps", "6"]
+
+    def test_baseline_gauntlet_exits_0(self, capsys):
+        assert main(self.FAST) == 0
+        out = capsys.readouterr().out
+        assert "chaos soak: 8 trials" in out
+        assert "exact" in out
+        assert "every trial recovered bit-identically" in out
+        assert "SILENT" not in out
+
+    def test_over_parity_losses_are_declared_not_silent(self, capsys):
+        assert main(self.FAST + ["--over-parity"]) == 1
+        out = capsys.readouterr().out
+        assert "declared-degraded" in out
+        assert "declared-failed" in out
+        assert "SILENT" not in out
+
+    def test_chaos_artifacts_written(self, tmp_path, capsys):
+        import json
+
+        assert main(self.FAST + ["--out", str(tmp_path)]) == 0
+        files = os.listdir(tmp_path)
+        assert "chaos_summary.json" in files
+        assert "trial_crash-1.plan.json" in files
+        assert "trial_crash-1.record.json" in files
+        summary = json.loads((tmp_path / "chaos_summary.json").read_text())
+        assert summary["exit_code"] == 0
+        assert len(summary["trials"]) == 8
+        assert all(t["outcome"] != "SILENT-DIVERGENCE" for t in summary["trials"])
+        from repro.analysis import read_run_record
+
+        record = read_run_record(str(tmp_path / "trial_crash-1.record.json"))
+        assert record.trainer == "elastic"
+        assert record.ckpt["restores"] > 0
+
+    def test_chaos_random_trials_seeded(self, capsys):
+        argv = self.FAST[:1] + ["--trials", "2", "--steps", "6", "--seed", "5"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_chaos_rejects_too_few_steps(self, capsys):
+        assert main(["chaos", "--steps", "2"]) == 2
+        assert "steps" in capsys.readouterr().err
+
+
 class TestSDC:
     def test_guarded_gauntlet_all_recovered(self, capsys):
         assert main(["sdc"]) == 0

@@ -202,3 +202,119 @@ class TestStructure:
         bd = integrated_mb_cost(NET, 2048, ProcessGrid(4, 8), M)
         assert bd.filter("model.").total == pytest.approx(bd.model_time)
         assert bd.filter("model.", "batch.").total == pytest.approx(bd.total)
+
+
+class TestCheckpointCostTerms:
+    """Closed-form checkpoint terms agree with the erasure codec geometry."""
+
+    DIMS = (8, 10, 6)
+
+    def test_chunk_bytes_matches_erasure_module(self):
+        from repro.core.costs import checkpoint_chunk_bytes
+        from repro.dist import erasure
+
+        for pr in (1, 2, 3):
+            for k in (1, 2, 3):
+                for mom in (False, True):
+                    assert checkpoint_chunk_bytes(
+                        self.DIMS, pr=pr, k=k, momentum=mom
+                    ) == erasure.chunk_bytes(self.DIMS, pr, k, mom)
+
+    def test_state_bytes_matches_erasure_module(self):
+        from repro.core.costs import checkpoint_state_bytes
+        from repro.dist import erasure
+
+        assert checkpoint_state_bytes(self.DIMS) == erasure.state_bytes(self.DIMS)
+        assert checkpoint_state_bytes(
+            self.DIMS, momentum=True
+        ) == erasure.state_bytes(self.DIMS, True)
+
+    def test_erasure_take_is_free_on_the_wire(self):
+        from repro.core.costs import checkpoint_cost_terms
+
+        terms = checkpoint_cost_terms(
+            self.DIMS, pr=2, pc=4, machine=M, parity=1, mode="erasure"
+        )
+        assert len(terms.terms) == 1
+        (term,) = terms.terms
+        assert term.category == "ckpt.parity"
+        assert term.cost.total == 0.0
+        assert term.volume > 0  # the locally-stored chunk is accounted
+
+    def test_replicate_take_matches_allgather_literal(self):
+        from repro.core.costs import checkpoint_cost_terms
+
+        pr, pc = 4, 2
+        terms = checkpoint_cost_terms(
+            self.DIMS, pr=pr, pc=pc, machine=M, mode="replicate"
+        )
+        layers = len(self.DIMS) - 1
+        assert len(terms.terms) == layers
+        total = terms.total
+        literal = sum(
+            M.alpha * lg(pr)
+            + M.beta * (pr - 1) / pr * self.DIMS[i + 1] * self.DIMS[i]
+            for i in range(layers)
+        )
+        assert total == pytest.approx(literal)
+        # Momentum doubles the state: one extra term per layer.
+        with_v = checkpoint_cost_terms(
+            self.DIMS, pr=pr, pc=pc, machine=M, mode="replicate", momentum=True
+        )
+        assert len(with_v.terms) == 2 * layers
+
+    def test_narrow_grid_falls_back_to_replicate(self):
+        from repro.core.costs import checkpoint_cost_terms
+
+        erasure_narrow = checkpoint_cost_terms(
+            self.DIMS, pr=2, pc=1, machine=M, parity=1, mode="erasure"
+        )
+        replicate = checkpoint_cost_terms(
+            self.DIMS, pr=2, pc=1, machine=M, mode="replicate"
+        )
+        assert [t.category for t in erasure_narrow.terms] == [
+            t.category for t in replicate.terms
+        ]
+        assert all(t.category == "ckpt.replicate" for t in erasure_narrow.terms)
+
+    def test_recovery_terms_census_and_fetch(self):
+        from repro.core.costs import (
+            CKPT_CENSUS_FIELDS,
+            checkpoint_chunk_bytes,
+            checkpoint_recovery_cost_terms,
+        )
+
+        survivors, held, have = 7, (2,) * 7, (1,) * 6 + (0,)
+        terms = checkpoint_recovery_cost_terms(
+            survivors=survivors, held=held, machine=M,
+            dims=self.DIMS, step=4, pr=2, k=3, have=have,
+        )
+        assert [t.category for t in terms.terms] == ["ckpt.census", "ckpt.fetch"]
+        census, fetch = terms.terms
+        census_bytes = sum(held) * CKPT_CENSUS_FIELDS * 8
+        assert census.volume * 8 == pytest.approx(
+            census_bytes * (survivors - 1) / survivors
+        )
+        shard_bytes = 16 + checkpoint_chunk_bytes(self.DIMS, pr=2, k=3) + 8 * 4
+        assert fetch.volume * 8 == pytest.approx(
+            sum(have) * shard_bytes * (survivors - 1) / survivors
+        )
+
+    def test_validation(self):
+        from repro.core.costs import (
+            checkpoint_cost_terms,
+            checkpoint_recovery_cost_terms,
+        )
+
+        with pytest.raises(StrategyError):
+            checkpoint_cost_terms(self.DIMS, pr=0, pc=2, machine=M)
+        with pytest.raises(StrategyError):
+            checkpoint_cost_terms(self.DIMS, pr=2, pc=2, machine=M, mode="nope")
+        with pytest.raises(StrategyError):
+            checkpoint_recovery_cost_terms(
+                survivors=2, held=(1, 1, 1), machine=M
+            )
+        with pytest.raises(StrategyError):
+            checkpoint_recovery_cost_terms(
+                survivors=2, held=(1, 1), machine=M, have=(1, 1)
+            )  # fetch requested without geometry

@@ -15,11 +15,19 @@ from repro.dist.elastic import (
     elastic_mlp_train,
     replan_grid,
 )
+from repro.dist.erasure import MODE_ERASURE, MODE_REPLICATE
 from repro.dist.sgd import SGD
 from repro.dist.train import MLPParams, serial_mlp_train
 from repro.errors import ConfigurationError, RankFailedError
 from repro.machine.params import cori_knl
-from repro.simmpi.faults import Crash, FaultPlan, LinkFault, Straggler, TransientFault
+from repro.simmpi.faults import (
+    Cascade,
+    Crash,
+    FaultPlan,
+    LinkFault,
+    Straggler,
+    TransientFault,
+)
 
 DIMS = (6, 8, 5)
 BATCH = 8
@@ -40,12 +48,12 @@ def _serial(momentum=0.0):
 
 def _elastic(faults=None, momentum=0.0, **kw):
     kw.setdefault("checkpoint_every", 2)
+    kw.setdefault("pr", 2)
+    kw.setdefault("pc", 2)
     return elastic_mlp_train(
         PARAMS0,
         X,
         Y,
-        pr=2,
-        pc=2,
         batch=BATCH,
         steps=STEPS,
         lr=0.05,
@@ -188,6 +196,165 @@ class TestElasticDeterminism:
         assert len(crash) == 1 and crash[0].rank == 1
         assert {e.rank for e in recoveries} == {0, 2, 3}
         assert all(e.t_start >= crash[0].t_start for e in recoveries)
+
+
+class TestCheckpointModes:
+    """Erasure-coded sharded checkpoints vs full replication."""
+
+    def test_modes_bit_identical_on_survivable_crash(self):
+        # Crash on an odd step (not a take step) so both modes restore
+        # the same checkpoint: the runs must then be interchangeable
+        # bit for bit.
+        plan = FaultPlan(seed=3, crashes=(Crash(rank=1, at_step=5),))
+        er = _elastic(faults=plan)
+        rp = _elastic(faults=plan, ckpt_mode="replicate")
+        assert er.restore_steps == rp.restore_steps == [4]
+        assert not er.degraded and not rp.degraded
+        for a, b in zip(er.weights, rp.weights):
+            assert a.tobytes() == b.tobytes()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            _elastic(ckpt_mode="holographic")
+        with pytest.raises(ConfigurationError):
+            _elastic(parity=0)
+
+    def test_erasure_take_stores_fraction_and_moves_nothing(self):
+        er = _elastic(trace=True, pr=2, pc=4, parity=1)
+        rp = _elastic(trace=True, pr=2, pc=4, parity=1, ckpt_mode="replicate")
+
+        def stored(res, mode):
+            takes = [
+                e for e in res.engine.tracer.canonical()
+                if e.op == "ckpt.take" and int(e.tag[0]) > 0
+            ]
+            assert takes and all(int(e.tag[1]) == mode for e in takes)
+            return sum(int(e.tag[2]) for e in takes)
+
+        # k = pc - parity = 3 data chunks per stripe, so sharded storage
+        # is several times smaller than full replication...
+        assert stored(rp, MODE_REPLICATE) > 2 * stored(er, MODE_ERASURE)
+        # ... and the erasure takes put zero checkpoint bytes on the
+        # wire (every send inside a checkpoint span would carry one).
+        ckpt_sends = [
+            e for e in er.engine.tracer.canonical()
+            if e.op == "send" and any(l.startswith("checkpoint") for l in e.span)
+        ]
+        assert ckpt_sends == []
+
+    def test_concurrent_double_crash_within_parity(self):
+        # Ranks 1 and 2 share a row stripe of the 2x4 grid: two
+        # concurrent losses, survivable bit-exactly with parity 2.
+        plan = FaultPlan(
+            seed=3, crashes=(Crash(rank=1, at_step=5), Crash(rank=2, at_step=5))
+        )
+        res = _elastic(faults=plan, pr=2, pc=4, parity=2)
+        assert sorted(res.sim.failed) == [1, 2]
+        assert res.restore_steps == [4] and not res.degraded
+        ref_params, _ = _serial()
+        for w, r in zip(res.weights, ref_params.weights):
+            np.testing.assert_allclose(w, r, rtol=1e-10, atol=1e-12)
+
+    def test_concurrent_loss_beyond_parity_is_declared(self):
+        # The same double crash with a single parity shard loses two
+        # chunks of one stripe: the census must *declare* degradation
+        # (here all the way to the step-0 replica) — and the replayed
+        # run is still numerically correct, just redone from further
+        # back.
+        plan = FaultPlan(
+            seed=3, crashes=(Crash(rank=1, at_step=5), Crash(rank=2, at_step=5))
+        )
+        res = _elastic(faults=plan, pr=2, pc=4, parity=1)
+        assert res.restore_steps == [0]
+        assert res.degraded and res.degraded_steps == [0]
+        ref_params, _ = _serial()
+        for w, r in zip(res.weights, ref_params.weights):
+            np.testing.assert_allclose(w, r, rtol=1e-10, atol=1e-12)
+
+    def test_narrow_grid_falls_back_to_replication(self):
+        # Pc - parity < 1 cannot stripe; the trainer must silently use
+        # full replication (and still recover).
+        plan = FaultPlan(seed=3, crashes=(Crash(rank=1, at_step=5),))
+        res = _elastic(faults=plan, pr=2, pc=1, trace=True)
+        takes = [
+            e for e in res.engine.tracer.canonical() if e.op == "ckpt.take"
+        ]
+        assert takes and all(int(e.tag[1]) == MODE_REPLICATE for e in takes)
+        assert res.restore_steps == [4] and not res.degraded
+
+    def test_cascading_crash_during_recovery(self):
+        # Rank 2 dies while recovering from rank 1's crash; recovery
+        # restarts from the top and still restores the newest
+        # checkpoint bit-exactly (two total losses, parity 2).
+        plan = FaultPlan(
+            seed=3,
+            crashes=(Crash(rank=1, at_step=4),),
+            cascades=(Cascade(rank=2, at_recovery=1),),
+        )
+        res = _elastic(faults=plan, pr=2, pc=4, parity=2)
+        assert sorted(res.sim.failed) == [1, 2]
+        assert res.grids == [(2, 4), (2, 3)]
+        assert res.restore_steps == [4] and not res.degraded
+        ref_params, _ = _serial()
+        for w, r in zip(res.weights, ref_params.weights):
+            np.testing.assert_allclose(w, r, rtol=1e-10, atol=1e-12)
+
+    def test_restored_checkpoints_and_store_are_exposed(self):
+        plan = FaultPlan(seed=3, crashes=(Crash(rank=1, at_step=5),))
+        res = _elastic(faults=plan)
+        assert [c.step for c in res.restored] == res.restore_steps
+        clean = _elastic(ckpt_mode="replicate")
+        assert clean.store.steps() == [0, 2, 4, 6]
+        # The restored state is bit-identical to the clean oracle's
+        # checkpoint at the same step.
+        oracle = clean.store.get(res.restore_steps[0]).checkpoint
+        for a, b in zip(res.restored[0].weights, oracle.weights):
+            assert a.tobytes() == b.tobytes()
+
+
+class TestCheckpointScheduleEdges:
+    """``checkpoint_every`` edge cases and restore bookkeeping."""
+
+    def test_crash_before_first_checkpoint_falls_back_to_step0(self):
+        # Regression: a crash that lands before any periodic take must
+        # restore the locally-held step-0 replica cleanly — in both
+        # modes, bit-identically.
+        plan = FaultPlan(seed=3, crashes=(Crash(rank=1, at_step=1),))
+        er = _elastic(faults=plan, checkpoint_every=4)
+        rp = _elastic(faults=plan, checkpoint_every=4, ckpt_mode="replicate")
+        assert er.restore_steps == rp.restore_steps == [0]
+        assert not er.degraded  # the step-0 replica IS the newest state
+        for a, b in zip(er.weights, rp.weights):
+            assert a.tobytes() == b.tobytes()
+        ref_params, _ = _serial()
+        for w, r in zip(er.weights, ref_params.weights):
+            np.testing.assert_allclose(w, r, rtol=1e-10, atol=1e-12)
+
+    def test_checkpoint_every_one(self):
+        # A take at every step: the local erasure encode survives the
+        # crash step itself, so recovery resumes from the crash step.
+        plan = FaultPlan(seed=3, crashes=(Crash(rank=1, at_step=5),))
+        res = _elastic(faults=plan, checkpoint_every=1)
+        assert res.restore_steps == [5] and not res.degraded
+        ref_params, _ = _serial()
+        for w, r in zip(res.weights, ref_params.weights):
+            np.testing.assert_allclose(w, r, rtol=1e-10, atol=1e-12)
+
+    def test_checkpoint_every_beyond_steps(self):
+        plan = FaultPlan(seed=3, crashes=(Crash(rank=1, at_step=5),))
+        res = _elastic(faults=plan, checkpoint_every=STEPS + 5)
+        assert res.restore_steps == [0]
+        ref_params, _ = _serial()
+        for w, r in zip(res.weights, ref_params.weights):
+            np.testing.assert_allclose(w, r, rtol=1e-10, atol=1e-12)
+
+    def test_restore_bookkeeping_lengths_agree(self):
+        plan = FaultPlan(
+            seed=3, crashes=(Crash(rank=1, at_step=3), Crash(rank=2, at_step=6))
+        )
+        res = _elastic(faults=plan)
+        assert len(res.restore_steps) == len(res.grids) - 1 == len(res.restored)
+        assert set(res.degraded_steps) <= set(res.restore_steps)
 
 
 class TestReplanGrid:

@@ -16,6 +16,7 @@ from repro.errors import (
 from repro.machine.params import MachineParams, cori_knl
 from repro.simmpi import SimEngine
 from repro.simmpi.faults import (
+    Cascade,
     Crash,
     FaultInjector,
     FaultPlan,
@@ -48,6 +49,7 @@ class TestFaultPlan:
         plan = FaultPlan(
             seed=42,
             crashes=(Crash(1, at_step=3), Crash(2, at_time=1e-3)),
+            cascades=(Cascade(3, at_recovery=2),),
             transients=(TransientFault(0, dest=1, send_index=5, attempts=2),),
             drops=(MessageDrop(3, send_index=7),),
             links=(LinkFault(0, 1, latency_factor=2.0, t_start=0.0, t_end=1.0),),
@@ -122,6 +124,29 @@ class TestFaultInjector:
         assert degraded.alpha == pytest.approx(4 * base.alpha)
         # Memoised: same object for the same factors.
         assert inj.link_machine(0, 1, 1.7, base) is degraded
+
+    def test_cascade_fires_once_at_counted_recovery(self):
+        inj = FaultInjector(FaultPlan(cascades=(Cascade(2, at_recovery=2),)))
+        inj.check_cascade(2)  # first shrink: survives
+        inj.check_cascade(0)  # other ranks never fire
+        with pytest.raises(SimulatedCrashError):
+            inj.check_cascade(2)  # second shrink: dies
+        inj.check_cascade(2)  # already fired: no re-raise on replayed shrinks
+
+    def test_cascade_validation(self):
+        with pytest.raises(ConfigurationError):
+            Cascade(-1)
+        with pytest.raises(ConfigurationError):
+            Cascade(0, at_recovery=0)
+
+    def test_straggler_slack_accumulates_and_resets(self):
+        inj = FaultInjector(FaultPlan(stragglers=(Straggler(1, factor=2.0),)))
+        assert inj.straggler_slack() == {}
+        inj.note_straggler_slack(1, 0.25)
+        inj.note_straggler_slack(1, 0.5)
+        assert inj.straggler_slack() == {1: 0.75}
+        inj.reset()
+        assert inj.straggler_slack() == {}
 
     def test_straggler_factor(self):
         inj = FaultInjector(FaultPlan(stragglers=(Straggler(2, factor=1.5),)))

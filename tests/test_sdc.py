@@ -453,7 +453,7 @@ class TestRunRecordV2:
     def test_unknown_schema_rejected(self):
         record = self.record()
         payload = json.loads(record.to_json())
-        payload["schema"] = "repro.analysis.record/v3"
+        payload["schema"] = "repro.analysis.record/v999"
         with pytest.raises(ConfigurationError, match="schema"):
             RunRecord.from_dict(payload)
 

@@ -98,3 +98,59 @@ class TestAuditEvents:
     def test_rejects_bad_steps(self):
         with pytest.raises(ConfigurationError):
             audit_events((), DIMS, pr=2, pc=2, batch=BATCH, steps=0)
+
+
+class TestCheckpointAudit:
+    """Checkpoint traffic closes against the closed forms at zero error."""
+
+    def _events(self, mode, momentum):
+        import numpy as np
+
+        from repro.dist.elastic import elastic_mlp_train
+        from repro.dist.train import MLPParams
+        from repro.simmpi.faults import Crash, FaultPlan
+
+        dims = (8, 10, 6)
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((dims[0], 32))
+        y = rng.integers(0, dims[-1], 32)
+        plan = FaultPlan(seed=3, crashes=(Crash(rank=1, at_step=3),))
+        res = elastic_mlp_train(
+            MLPParams.init(dims, seed=3), x, y, pr=2, pc=4, batch=8,
+            steps=6, checkpoint_every=2, ckpt_mode=mode,
+            momentum=momentum, faults=plan, trace=True,
+        )
+        return res.engine.tracer.canonical(), dims
+
+    @pytest.mark.parametrize("mode", ["erasure", "replicate"])
+    @pytest.mark.parametrize("momentum", [0.0, 0.9])
+    def test_crashy_run_closes_exactly(self, mode, momentum):
+        from repro.telemetry.audit import audit_checkpoint_events
+
+        events, dims = self._events(mode, momentum)
+        report = audit_checkpoint_events(events, dims, pr=2, pc=4, batch=8)
+        assert report.terms, "checkpoint activity must produce audit terms"
+        for t in report.terms:
+            assert t.predicted_bytes == t.measured_bytes, t.category
+            assert t.predicted_messages == t.measured_messages, t.category
+        assert report.exact
+        categories = {t.category for t in report.terms}
+        assert "ckpt.census" in categories
+        if mode == "erasure":
+            # Takes are local: the parity terms predict zero wire bytes;
+            # shard fetches are the only checkpoint traffic.
+            assert "ckpt.fetch" in categories
+            parity = [t for t in report.terms if t.category == "ckpt.parity"]
+            assert parity and all(t.measured_bytes == 0 for t in parity)
+        else:
+            assert any(
+                t.category == "ckpt.replicate" and t.measured_bytes > 0
+                for t in report.terms
+            )
+
+    def test_wrong_dims_break_closure(self):
+        from repro.telemetry.audit import audit_checkpoint_events
+
+        events, _ = self._events("replicate", 0.0)
+        report = audit_checkpoint_events(events, (8, 14, 6), pr=2, pc=4, batch=8)
+        assert not report.exact
