@@ -34,6 +34,15 @@ Version history
     marker events of :mod:`repro.dist.elastic` summed over all ranks.
     Absent entirely for runs that never checkpoint, so earlier records
     stay byte-identical modulo the schema tag.
+``v4``
+    Adds the optional ``health`` block: the deterministic
+    :func:`~repro.observe.health.evaluate_health` verdict over the
+    trace — per-kind counts plus the raised
+    :class:`~repro.observe.health.HealthEvent` rows (stall, straggler,
+    loss NaN/divergence, comm-wait spike, checkpoint degradation).
+    Absent entirely for healthy runs, so earlier records stay
+    byte-identical modulo the schema tag.  ``repro diff`` ignores the
+    block (health is observability, not comparability).
 """
 
 from __future__ import annotations
@@ -58,13 +67,14 @@ __all__ = [
     "write_run_record",
 ]
 
-RUN_RECORD_SCHEMA = "repro.analysis.record/v3"
+RUN_RECORD_SCHEMA = "repro.analysis.record/v4"
 
 #: Schemas this reader accepts; new records are always written at the
 #: current version, old baselines stay loadable.
 SUPPORTED_SCHEMAS = (
     "repro.analysis.record/v1",
     "repro.analysis.record/v2",
+    "repro.analysis.record/v3",
     RUN_RECORD_SCHEMA,
 )
 
@@ -98,6 +108,7 @@ _TOP_LEVEL: Dict[str, Tuple[bool, type]] = {
     "dropped": (True, int),
     "sdc": (False, dict),
     "ckpt": (False, dict),
+    "health": (False, dict),
     "meta": (False, dict),
 }
 
@@ -106,6 +117,48 @@ _RANK_KEYS = ("rank", "wall_s", "compute_s", "comm_s", "wait_s")
 
 #: Absolute tolerance for the per-rank decomposition identity check.
 _DECOMP_TOL = 1e-9
+
+
+def _validate_health_block(health: Dict[str, Any]) -> None:
+    """Structural checks for the v4 ``health`` block (empty is fine)."""
+    from repro.observe.health import HEALTH_KINDS
+
+    for key in set(health) - {"counts", "events"}:
+        raise ConfigurationError(f"health block has unknown key {key!r}")
+    counts = health.get("counts", {})
+    if not isinstance(counts, dict):
+        raise ConfigurationError("health.counts must be an object")
+    for kind, value in counts.items():
+        if kind not in HEALTH_KINDS:
+            raise ConfigurationError(f"health.counts has unknown kind {kind!r}")
+        if not isinstance(value, int) or value < 0:
+            raise ConfigurationError(
+                f"health.counts.{kind} must be a non-negative integer, got {value!r}"
+            )
+    events = health.get("events", [])
+    if not isinstance(events, list):
+        raise ConfigurationError("health.events must be a list")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ConfigurationError(f"health.events[{i}] is not an object")
+        if ev.get("kind") not in HEALTH_KINDS:
+            raise ConfigurationError(
+                f"health.events[{i}].kind must be one of {tuple(HEALTH_KINDS)!r}, "
+                f"got {ev.get('kind')!r}"
+            )
+        if ev.get("severity") not in ("warn", "crit"):
+            raise ConfigurationError(
+                f"health.events[{i}].severity must be 'warn' or 'crit', "
+                f"got {ev.get('severity')!r}"
+            )
+        if not isinstance(ev.get("rank"), int):
+            raise ConfigurationError(f"health.events[{i}].rank must be an integer")
+        if not isinstance(ev.get("t_s"), (int, float)):
+            raise ConfigurationError(f"health.events[{i}].t_s must be a number")
+        if not isinstance(ev.get("detail"), str):
+            raise ConfigurationError(f"health.events[{i}].detail must be a string")
+        if "step" in ev and not isinstance(ev["step"], int):
+            raise ConfigurationError(f"health.events[{i}].step must be an integer")
 
 
 def validate_run_record(payload: Any) -> None:
@@ -174,6 +227,7 @@ def validate_run_record(payload: Any) -> None:
             raise ConfigurationError(
                 f"ckpt.{key} must be a non-negative integer, got {value!r}"
             )
+    _validate_health_block(payload.get("health", {}))
     critical = payload["critical"]
     if not isinstance(critical.get("length_s"), (int, float)):
         raise ConfigurationError("critical.length_s must be a number")
@@ -205,6 +259,10 @@ class RunRecord:
     #: Checkpoint counters of an elastic run (v3); empty — and omitted
     #: from the payload — when the run never checkpointed.
     ckpt: Dict[str, int] = dataclasses.field(default_factory=dict)
+    #: Deterministic health verdict over the trace (v4): per-kind
+    #: counts plus the raised HealthEvent rows; empty — and omitted —
+    #: for healthy runs.
+    health: Dict[str, Any] = dataclasses.field(default_factory=dict)
 
     @property
     def config_key(self) -> Tuple:
@@ -240,6 +298,11 @@ class RunRecord:
             payload["sdc"] = dict(self.sdc)
         if self.ckpt:
             payload["ckpt"] = dict(self.ckpt)
+        if self.health:
+            payload["health"] = {
+                "counts": dict(self.health.get("counts", {})),
+                "events": [dict(e) for e in self.health.get("events", [])],
+            }
         if self.meta:
             payload["meta"] = dict(self.meta)
         return payload
@@ -266,6 +329,7 @@ class RunRecord:
             meta=dict(payload.get("meta", {})),
             sdc={k: int(v) for k, v in payload.get("sdc", {}).items()},
             ckpt={k: int(v) for k, v in payload.get("ckpt", {}).items()},
+            health=dict(payload.get("health", {})),
         )
 
     @classmethod
@@ -300,6 +364,7 @@ def build_run_record(
     machine: Optional[MachineParams] = None,
     dropped: int = 0,
     meta: Optional[Dict[str, Any]] = None,
+    health_config: Optional[Any] = None,
 ) -> RunRecord:
     """Assemble a :class:`RunRecord` from a trace.
 
@@ -313,7 +378,11 @@ def build_run_record(
     ``fault.*`` events; clean unguarded traces produce no block at
     all, keeping their payloads comparable with v1 baselines.
     Likewise, ``ckpt.take``/``ckpt.restore``/``ckpt.degraded`` marker
-    events of elastic runs yield the v3 ``ckpt`` counter block.
+    events of elastic runs yield the v3 ``ckpt`` counter block, and
+    the deterministic health replay
+    (:func:`~repro.observe.health.evaluate_health`, tunable via
+    ``health_config``) yields the v4 ``health`` block — omitted when
+    no rule fired.
     """
     from repro.analysis.accounting import rank_accounting
     from repro.analysis.critical import critical_path
@@ -359,6 +428,10 @@ def build_run_record(
             "escaped": max(0, injected - detected),
             "guard_bytes": guard_bytes,
         }
+    from repro.observe.health import evaluate_health
+
+    health_report = evaluate_health(events, health_config)
+    health = health_report.to_dict() if health_report.events else {}
     return RunRecord(
         trainer=trainer,
         config=dict(config),
@@ -373,6 +446,7 @@ def build_run_record(
         meta=dict(meta or {}),
         sdc=sdc,
         ckpt=ckpt,
+        health=health,
     )
 
 

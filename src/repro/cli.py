@@ -134,6 +134,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-compare", action="store_true",
         help="measure and report only; skip the baseline gate",
     )
+    bench_p.add_argument(
+        "--json", action="store_true",
+        help="emit one machine-readable JSON object instead of tables",
+    )
 
     faults_p = sub.add_parser(
         "faults",
@@ -166,6 +170,10 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         choices=["detect", "correct", "recompute"],
         help="ABFT-guard the run against the plan's bit flips",
+    )
+    faults_p.add_argument(
+        "--json", action="store_true",
+        help="emit one machine-readable JSON object instead of tables",
     )
 
     sdc_p = sub.add_parser(
@@ -251,6 +259,10 @@ def build_parser() -> argparse.ArgumentParser:
             "chaos_summary.json verdict"
         ),
     )
+    chaos_p.add_argument(
+        "--json", action="store_true",
+        help="emit the chaos_summary payload as JSON on stdout",
+    )
 
     trace_p = sub.add_parser(
         "trace",
@@ -298,6 +310,119 @@ def build_parser() -> argparse.ArgumentParser:
             "run with ABFT guards on and audit their digest escorts as "
             "explicit abft.* cost-model terms"
         ),
+    )
+
+    watch_p = sub.add_parser(
+        "watch",
+        help=(
+            "run a training scenario under the live health monitor: "
+            "heartbeats and rule firings (stall, straggler, loss NaN/"
+            "divergence, comm-wait spike, ckpt degradation) stream to the "
+            "terminal as the run executes; exit 0 healthy / 1 warnings / "
+            "2 critical"
+        ),
+    )
+    watch_p.add_argument(
+        "--scenario",
+        default="straggler",
+        choices=["clean", "straggler", "crash", "degrade", "diverge"],
+        help="what to run under the monitor (default: straggler)",
+    )
+    watch_p.add_argument(
+        "--steps", type=int, default=8, help="training steps (default 8)"
+    )
+    watch_p.add_argument(
+        "--seed", type=int, default=0, help="data/init seed (default 0)"
+    )
+    watch_p.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-heartbeat lines; show only health alerts",
+    )
+    watch_p.add_argument(
+        "--stall-steps", type=int, default=None,
+        help="heartbeat lag that counts as a stall (default 2)",
+    )
+    watch_p.add_argument(
+        "--straggler-factor", type=float, default=None,
+        help="per-step duration ratio over the median that flags a "
+             "straggler (default 1.25)",
+    )
+    watch_p.add_argument(
+        "--record",
+        default=None,
+        help="write the run's RunRecord JSON (schema v4, health block) here",
+    )
+    watch_p.add_argument(
+        "--registry",
+        default=None,
+        help="append the run's metrics to this JSONL run registry",
+    )
+    watch_p.add_argument(
+        "--json", action="store_true",
+        help="emit one machine-readable JSON object instead of live lines",
+    )
+
+    history_p = sub.add_parser(
+        "history",
+        help=(
+            "regression observatory over the run registry: per-series "
+            "metric trends against rolling median + MAD bands; exit 0 ok / "
+            "1 warnings / 2 drift"
+        ),
+    )
+    history_p.add_argument(
+        "--registry",
+        default="benchmarks/REGISTRY.jsonl",
+        help="JSONL run registry (default: benchmarks/REGISTRY.jsonl)",
+    )
+    history_p.add_argument(
+        "--min-history", type=int, default=None,
+        help="baseline entries required before a series gates (default 4)",
+    )
+    history_p.add_argument(
+        "--series", default=None,
+        help="only judge series whose key contains this substring",
+    )
+    history_p.add_argument(
+        "--json", action="store_true",
+        help="emit the trend verdicts as one JSON object",
+    )
+
+    ingest_p = sub.add_parser(
+        "ingest",
+        help=(
+            "append RunRecord / BENCH result JSON files to the run registry "
+            "(auto-detected by schema tag)"
+        ),
+    )
+    ingest_p.add_argument(
+        "paths", nargs="+", help="RunRecord or BENCH JSON files to ingest"
+    )
+    ingest_p.add_argument(
+        "--registry",
+        default="benchmarks/REGISTRY.jsonl",
+        help="JSONL run registry (default: benchmarks/REGISTRY.jsonl)",
+    )
+
+    dash_p = sub.add_parser(
+        "dash",
+        help=(
+            "render the run registry as a static HTML dashboard: "
+            "sparklines, per-cost-term trend heatmap, health-event "
+            "timelines; no external assets"
+        ),
+    )
+    dash_p.add_argument(
+        "--registry",
+        default="benchmarks/REGISTRY.jsonl",
+        help="JSONL run registry (default: benchmarks/REGISTRY.jsonl)",
+    )
+    dash_p.add_argument(
+        "--out", default="dash.html", help="output HTML path (default dash.html)"
+    )
+    dash_p.add_argument(
+        "--records", nargs="*", default=(),
+        help="RunRecord JSON files whose health events get timelines",
     )
 
     diff_p = sub.add_parser(
@@ -411,6 +536,8 @@ def _run_best(args) -> int:
 
 
 def _run_bench(args) -> int:
+    import json
+
     from repro.errors import ConfigurationError
     from repro.search.bench import (
         DEFAULT_BATCH,
@@ -443,26 +570,46 @@ def _run_bench(args) -> int:
         print(f"bench configuration error: {exc}", file=sys.stderr)
         return 2
 
-    print(f"config  : {record.network}, B={record.batch:g}, "
-          f"P={list(record.processes)} (best of {record.repeat})")
-    print(f"serial  : {record.serial_s * 1e3:8.1f} ms")
-    print(f"engine  : {record.engine_s * 1e3:8.1f} ms")
-    print(f"speedup : {record.speedup:.2f}x "
-          f"({'bit-identical' if record.identical else 'RESULTS DIFFER'})")
-    print(f"cache   : {record.cache_hits} hits / {record.cache_misses} misses, "
-          f"{record.cache_entries} entries")
+    def emit(code, status, **gate_extra):
+        """One machine-readable object wrapping the record + gate verdict."""
+        if args.json:
+            gate = {"status": status}
+            gate.update(gate_extra)
+            print(json.dumps(
+                {
+                    "schema": "repro.cli.bench/v1",
+                    "record": json.loads(record.to_json()),
+                    "gate": gate,
+                    "exit_code": code,
+                },
+                indent=2,
+                sort_keys=True,
+            ))
+        return code
+
+    if not args.json:
+        print(f"config  : {record.network}, B={record.batch:g}, "
+              f"P={list(record.processes)} (best of {record.repeat})")
+        print(f"serial  : {record.serial_s * 1e3:8.1f} ms")
+        print(f"engine  : {record.engine_s * 1e3:8.1f} ms")
+        print(f"speedup : {record.speedup:.2f}x "
+              f"({'bit-identical' if record.identical else 'RESULTS DIFFER'})")
+        print(f"cache   : {record.cache_hits} hits / {record.cache_misses} "
+              f"misses, {record.cache_entries} entries")
 
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(record.to_json())
-        print(f"record  : wrote {args.out}")
+        if not args.json:
+            print(f"record  : wrote {args.out}")
     if args.update_baseline:
         with open(args.baseline, "w", encoding="utf-8") as fh:
             fh.write(record.to_json())
-        print(f"baseline: updated {args.baseline}")
-        return 0
+        if not args.json:
+            print(f"baseline: updated {args.baseline}")
+        return emit(0, "baseline-updated")
     if args.no_compare:
-        return 0
+        return emit(0, "skipped")
 
     try:
         with open(args.baseline, "r", encoding="utf-8") as fh:
@@ -481,10 +628,13 @@ def _run_bench(args) -> int:
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)
-        return 1
-    print(f"gate    : PASS (baseline {baseline.speedup:.2f}x, "
-          f"tolerance {tolerance:.0%})")
-    return 0
+        return emit(1, "fail", failures=[str(f) for f in failures],
+                    baseline_speedup=baseline.speedup, tolerance=tolerance)
+    if not args.json:
+        print(f"gate    : PASS (baseline {baseline.speedup:.2f}x, "
+              f"tolerance {tolerance:.0%})")
+    return emit(0, "pass", baseline_speedup=baseline.speedup,
+                tolerance=tolerance)
 
 
 def _run_faults(args) -> int:
@@ -529,15 +679,17 @@ def _run_faults(args) -> int:
     y = rng.integers(0, dims[-1], 4 * batch)
     params0 = MLPParams.init(dims, seed=args.seed)
     pr, pc = replan_grid(args.ranks, dims, batch, cori_knl())
-    print(f"world   : {args.ranks} ranks as a {pr}x{pc} grid, {args.steps} steps")
-    print(
-        f"plan    : {len(plan.crashes)} crash(es), {len(plan.transients)} "
-        f"transient(s), {len(plan.drops)} drop(s), {len(plan.links)} link "
-        f"fault(s), {len(plan.stragglers)} straggler(s), "
-        f"{len(plan.bitflips)} bit flip(s)  [seed {plan.seed}]"
-    )
-    if args.sdc:
-        print(f"guards  : ABFT on, policy {args.sdc!r}")
+    if not args.json:
+        print(f"world   : {args.ranks} ranks as a {pr}x{pc} grid, "
+              f"{args.steps} steps")
+        print(
+            f"plan    : {len(plan.crashes)} crash(es), {len(plan.transients)} "
+            f"transient(s), {len(plan.drops)} drop(s), {len(plan.links)} link "
+            f"fault(s), {len(plan.stragglers)} straggler(s), "
+            f"{len(plan.bitflips)} bit flip(s)  [seed {plan.seed}]"
+        )
+        if args.sdc:
+            print(f"guards  : ABFT on, policy {args.sdc!r}")
     try:
         result = elastic_mlp_train(
             params0, x, y, pr=pr, pc=pc, batch=batch, steps=args.steps,
@@ -547,35 +699,40 @@ def _run_faults(args) -> int:
         print(f"DEGRADED: run failed under the fault plan: {exc}", file=sys.stderr)
         return 1
     events = result.engine.tracer.canonical()
-    print()
-    print("fault log:")
-    print(render_fault_log(events))
-    print()
-    print(render_timeline(events, width=args.width))
-    print()
-    print(render_span_timeline(events, width=args.width))
-    print()
-    if result.recovered:
-        degraded_at = set(result.degraded_steps)
-        for (gpr, gpc), at in zip(result.grids[1:], result.restore_steps):
-            print(
-                f"recovery: shrank to a {gpr}x{gpc} grid, resumed from the "
-                f"step-{at} checkpoint"
-                + (" (DEGRADED: newer shards unrecoverable)" if at in degraded_at else "")
-            )
-    else:
-        print("recovery: none needed")
+    dropped = result.engine.tracer.dropped
+    if not args.json:
+        print()
+        print("fault log:")
+        print(render_fault_log(events))
+        print()
+        print(render_timeline(events, width=args.width))
+        print()
+        print(render_span_timeline(events, width=args.width))
+        print()
+        if result.recovered:
+            degraded_at = set(result.degraded_steps)
+            for (gpr, gpc), at in zip(result.grids[1:], result.restore_steps):
+                print(
+                    f"recovery: shrank to a {gpr}x{gpc} grid, resumed from "
+                    f"the step-{at} checkpoint"
+                    + (" (DEGRADED: newer shards unrecoverable)"
+                       if at in degraded_at else "")
+                )
+        else:
+            print("recovery: none needed")
     injector = result.engine.injector
+    slack = {}
     if injector is not None and injector.plan.stragglers:
         slack = injector.straggler_slack()
-        print()
-        print("stragglers:")
-        for spec in injector.plan.stragglers:
-            jitter = f", jitter {spec.jitter:g}" if spec.jitter else ""
-            print(
-                f"  rank {spec.rank}: factor {spec.factor:g}{jitter} -> "
-                f"injected slack {slack.get(spec.rank, 0.0):.3e}s virtual"
-            )
+        if not args.json:
+            print()
+            print("stragglers:")
+            for spec in injector.plan.stragglers:
+                jitter = f", jitter {spec.jitter:g}" if spec.jitter else ""
+                print(
+                    f"  rank {spec.rank}: factor {spec.factor:g}{jitter} -> "
+                    f"injected slack {slack.get(spec.rank, 0.0):.3e}s virtual"
+                )
     if args.record:
         from repro.analysis import write_run_record
         from repro.dist.elastic import elastic_run_record
@@ -584,9 +741,8 @@ def _run_faults(args) -> int:
             result, batch=batch, steps=args.steps, checkpoint_every=2,
         )
         write_run_record(record, args.record)
-        print(f"record  : wrote {args.record}")
-    print(f"failed ranks   : {list(result.sim.failed) or 'none'}")
-    print(f"final loss     : {result.losses[-1]:.6f}")
+        if not args.json:
+            print(f"record  : wrote {args.record}")
     ref_params, _ = serial_mlp_train(
         params0, x, y, batch=batch, steps=args.steps
     )
@@ -594,20 +750,68 @@ def _run_faults(args) -> int:
         float(np.max(np.abs(w - r)))
         for w, r in zip(result.weights, ref_params.weights)
     )
-    print(f"max |w - serial|: {dev:.3e}")
+    if not args.json:
+        print(f"failed ranks   : {list(result.sim.failed) or 'none'}")
+        print(f"final loss     : {result.losses[-1]:.6f}")
+        print(f"max |w - serial|: {dev:.3e}")
+        if dropped:
+            print(
+                f"WARNING : tracer dropped {dropped} event(s) — the fault "
+                "log and timelines above are lossy",
+                file=sys.stderr,
+            )
     # Exit granularity: 0 = clean or fully recovered (crashes absorbed by
     # shrink/restore, bit flips detected and repaired); 1 = degraded — an
     # injected flip nobody detected escaped into the weights.
     ops = [e.op for e in events]
     escaped = ops.count("fault.bitflip") - ops.count("fault.sdc_detected")
+    code = 1 if escaped > 0 else 0
+    if args.json:
+        import json
+
+        print(json.dumps(
+            {
+                "schema": "repro.cli.faults/v1",
+                "config": {
+                    "ranks": args.ranks, "grid": [pr, pc],
+                    "dims": list(dims), "batch": batch,
+                    "steps": args.steps, "seed": args.seed,
+                    "sdc": args.sdc,
+                },
+                "plan": {
+                    "crashes": len(plan.crashes),
+                    "transients": len(plan.transients),
+                    "drops": len(plan.drops),
+                    "links": len(plan.links),
+                    "stragglers": len(plan.stragglers),
+                    "bitflips": len(plan.bitflips),
+                    "seed": plan.seed,
+                },
+                "recovered": result.recovered,
+                "grids": [list(g) for g in result.grids],
+                "restore_steps": list(result.restore_steps),
+                "degraded_steps": list(result.degraded_steps),
+                "failed_ranks": sorted(result.sim.failed),
+                "straggler_slack_s": {
+                    str(r): s for r, s in sorted(slack.items())
+                },
+                "final_loss": float(result.losses[-1]),
+                "max_weight_dev": dev,
+                "escaped_flips": escaped,
+                "dropped": dropped,
+                "exit_code": code,
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+        return code
     if escaped > 0:
         print(
             f"DEGRADED: {escaped} injected bit flip(s) escaped undetected "
             "(run unguarded, or guard coverage missed the site)",
             file=sys.stderr,
         )
-        return 1
-    return 0
+    return code
 
 
 #: The ``repro sdc`` gauntlet's fault matrix: every GEMM site of the
@@ -651,8 +855,9 @@ def _run_sdc(args) -> int:
         )
         return weights, engine, sim
 
-    clean, _, _ = run()
+    clean, clean_engine, _ = run()
     clean_bits = [w.tobytes() for w in clean]
+    total_dropped = clean_engine.tracer.dropped
     guarded = not args.no_guard
     print(
         f"gauntlet: {len(_SDC_GAUNTLET)} single-bit-flip plans on a "
@@ -672,6 +877,7 @@ def _run_sdc(args) -> int:
             # run did not complete either.
             outcomes.append((name, "detected-unrecovered"))
             continue
+        total_dropped += engine.tracer.dropped
         injected = guard.monitor["injected"] if guard is not None else sum(
             1 for e in engine.tracer.canonical() if e.op == "fault.bitflip"
         )
@@ -702,6 +908,13 @@ def _run_sdc(args) -> int:
         )
         write_run_record(record, args.record)
         print(f"record  : wrote {args.record}")
+    if total_dropped:
+        print(
+            f"WARNING : tracer dropped {total_dropped} event(s) across the "
+            "gauntlet — injected-flip counts from unguarded traces may "
+            "undercount",
+            file=sys.stderr,
+        )
     kinds = {o for _, o in outcomes}
     if "escaped" in kinds or "no-fire" in kinds:
         print(
@@ -902,11 +1115,12 @@ def _run_chaos(args) -> int:
         except ReproError as exc:
             return None, exc
 
-    print(
-        f"chaos soak: {len(trials)} trials on a {pr}x{pc} grid, dims {dims}, "
-        f"{steps} steps, checkpoint every 2, parity {args.parity} "
-        f"(each trial: erasure-coded shards vs full replication)"
-    )
+    if not args.json:
+        print(
+            f"chaos soak: {len(trials)} trials on a {pr}x{pc} grid, dims "
+            f"{dims}, {steps} steps, checkpoint every 2, parity {args.parity} "
+            f"(each trial: erasure-coded shards vs full replication)"
+        )
     # Oracle: one clean replicated run.  Its store holds the full
     # original-grid checkpoint at every take step; the pre-crash
     # trajectory of every faulted run is bit-identical to it, so any
@@ -935,6 +1149,7 @@ def _run_chaos(args) -> int:
 
     outcomes = []
     rows = []
+    total_dropped = 0
     for name, plan, parity, sdc in trials:
         e_res, e_err = run_mode("erasure", plan, parity, sdc)
         r_res, r_err = run_mode("replicate", plan, parity, sdc)
@@ -1005,6 +1220,8 @@ def _run_chaos(args) -> int:
                     f"oracle-match={first_ok} converged={close}"
                 )
         outcomes.append((name, outcome))
+        trial_dropped = e_res.engine.tracer.dropped if e_res else 0
+        total_dropped += trial_dropped
         rows.append(
             {
                 "trial": name,
@@ -1014,10 +1231,13 @@ def _run_chaos(args) -> int:
                 "failed_ranks": sorted(e_res.sim.failed) if e_res else None,
                 "restore_steps": e_res.restore_steps if e_res else None,
                 "degraded_steps": e_res.degraded_steps if e_res else None,
+                "dropped": trial_dropped,
             }
         )
         width = max(len(n) for n, _, _, _ in trials)
-        print(f"  {name:<{width}}  {outcome}" + (f"  [{detail}]" if detail else ""))
+        if not args.json:
+            print(f"  {name:<{width}}  {outcome}"
+                  + (f"  [{detail}]" if detail else ""))
         if want_artifacts:
             stem = os.path.join(args.out, f"trial_{name}")
             with open(f"{stem}.plan.json", "w", encoding="utf-8") as fh:
@@ -1049,29 +1269,355 @@ def _run_chaos(args) -> int:
         verdict = (
             "every trial recovered bit-identically to the replicated reference"
         )
-    print(f"VERDICT : {verdict}", file=sys.stderr if code == 2 else sys.stdout)
+    payload = {
+        "config": {
+            "dims": list(dims), "pr": pr, "pc": pc, "batch": batch,
+            "steps": steps, "parity": args.parity,
+            "seed": args.seed, "trials": len(trials),
+            "over_parity": bool(args.over_parity),
+        },
+        "trials": rows,
+        "dropped": total_dropped,
+        "exit_code": code,
+        "verdict": verdict,
+    }
+    if total_dropped and not args.json:
+        print(
+            f"WARNING : tracer dropped {total_dropped} event(s) across the "
+            "soak — per-trial records and timelines are lossy",
+            file=sys.stderr,
+        )
+    if not args.json:
+        print(f"VERDICT : {verdict}",
+              file=sys.stderr if code == 2 else sys.stdout)
     if want_artifacts:
         summary_path = os.path.join(args.out, "chaos_summary.json")
         with open(summary_path, "w", encoding="utf-8") as fh:
-            json.dump(
-                {
-                    "config": {
-                        "dims": list(dims), "pr": pr, "pc": pc, "batch": batch,
-                        "steps": steps, "parity": args.parity,
-                        "seed": args.seed, "trials": len(trials),
-                        "over_parity": bool(args.over_parity),
-                    },
-                    "trials": rows,
-                    "exit_code": code,
-                    "verdict": verdict,
-                },
-                fh,
-                indent=2,
-                sort_keys=True,
-            )
+            json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
-        print(f"wrote   : {summary_path}")
+        if not args.json:
+            print(f"wrote   : {summary_path}")
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
     return code
+
+
+#: ``repro watch`` scenarios: each returns (result-ish, engine, record_fn)
+#: where record_fn() builds the RunRecord.  Small enough to run in
+#: seconds, chosen so the advertised rule actually fires.
+_WATCH_SCENARIOS = ("clean", "straggler", "crash", "degrade", "diverge")
+
+
+def _run_watch(args) -> int:
+    import json
+
+    import numpy as np
+
+    from repro.dist.elastic import elastic_mlp_train, elastic_run_record
+    from repro.dist.train import (
+        MLPParams,
+        distributed_mlp_train,
+        mlp_run_record,
+    )
+    from repro.errors import ReproError
+    from repro.observe.health import (
+        HealthConfig,
+        HealthMonitor,
+        evaluate_health,
+    )
+    from repro.observe.watch import WatchRenderer
+    from repro.simmpi.engine import SimEngine
+    from repro.simmpi.faults import Crash, FaultPlan, Straggler
+
+    cfg_kwargs = {}
+    if args.stall_steps is not None:
+        cfg_kwargs["stall_steps"] = args.stall_steps
+    if args.straggler_factor is not None:
+        cfg_kwargs["straggler_factor"] = args.straggler_factor
+    try:
+        health_config = HealthConfig(**cfg_kwargs)
+        health_config.validate()
+    except ReproError as exc:
+        print(f"bad monitor config: {exc}", file=sys.stderr)
+        return 2
+
+    monitor = HealthMonitor(health_config)
+    if args.json:
+        sink = monitor  # machine-readable mode: no live lines
+    else:
+        sink = WatchRenderer(monitor, heartbeats=not args.quiet)
+
+    dims = (8, 10, 6)
+    batch = 8
+    steps = args.steps
+    lr = 0.05
+    rng = np.random.default_rng(args.seed)
+    x = rng.standard_normal((dims[0], 4 * batch))
+    y = rng.integers(0, dims[-1], 4 * batch)
+    params0 = MLPParams.init(dims, seed=args.seed)
+    mid = max(1, steps // 2)
+    scenario = args.scenario
+
+    if not args.json:
+        print(f"watch   : scenario {scenario!r}, {steps} steps, "
+              f"seed {args.seed}")
+
+    try:
+        if scenario in ("clean", "diverge"):
+            pr = pc = 2
+            if scenario == "diverge":
+                lr = 40.0  # deliberately unstable: loss blows up past 2x best
+            engine = SimEngine(pr * pc, None, trace=True, metrics=sink)
+            _, losses, sim = distributed_mlp_train(
+                params0, x, y, pr=pr, pc=pc, batch=batch, steps=steps,
+                lr=lr, engine=engine,
+            )
+            config = {"scenario": scenario, "steps": steps}
+
+            def record_fn():
+                return mlp_run_record(
+                    engine, sim, dims=dims, pr=pr, pc=pc, batch=batch,
+                    steps=steps, meta={"watch_scenario": scenario},
+                    health_config=health_config,
+                )
+
+            clocks = sim.clocks
+        else:
+            pr, pc = 2, 4
+            parity = 1
+            if scenario == "straggler":
+                plan = FaultPlan(
+                    seed=args.seed,
+                    stragglers=(Straggler(rank=0, factor=2.0),),
+                )
+            elif scenario == "crash":
+                plan = FaultPlan(
+                    seed=args.seed, crashes=(Crash(rank=1, at_step=mid),)
+                )
+            else:  # degrade: two concurrent losses in one stripe, parity 1
+                plan = FaultPlan(
+                    seed=args.seed,
+                    crashes=(
+                        Crash(rank=1, at_step=mid),
+                        Crash(rank=2, at_step=mid),
+                    ),
+                )
+            result = elastic_mlp_train(
+                params0, x, y, pr=pr, pc=pc, batch=batch, steps=steps,
+                checkpoint_every=2, parity=parity, faults=plan,
+                trace=True, metrics=sink,
+            )
+            engine = result.engine
+            config = {"scenario": scenario, "steps": steps, "parity": parity}
+
+            def record_fn():
+                return elastic_run_record(
+                    result, batch=batch, steps=steps, checkpoint_every=2,
+                    parity=parity, meta={"watch_scenario": scenario},
+                    health_config=health_config,
+                )
+
+            clocks = result.sim.clocks
+    except ReproError as exc:
+        print(f"watch: run failed: {exc}", file=sys.stderr)
+        return 2
+
+    monitor.finish()
+    # The verdict (and everything recorded) comes from the deterministic
+    # virtual-time replay, not the live thread interleave.
+    events = engine.tracer.canonical()
+    report = evaluate_health(events, health_config)
+    makespan = max(clocks) if clocks else 0.0
+    dropped = engine.tracer.dropped
+
+    record = None
+    if args.record or args.registry:
+        record = record_fn()
+    if args.record:
+        from repro.analysis import write_run_record
+
+        write_run_record(record, args.record)
+    if args.registry:
+        from repro.observe.registry import append_entries, entry_from_record
+
+        entry = entry_from_record(
+            record.to_dict(), source=f"repro watch --scenario {scenario}"
+        )
+        append_entries(args.registry, [entry])
+
+    worst = report.worst
+    code = {"crit": 2, "warn": 1}.get(worst, 0)
+    if args.json:
+        payload = {
+            "schema": "repro.cli.watch/v1",
+            "scenario": scenario,
+            "config": dict(config, grid=f"{pr}x{pc}", seed=args.seed),
+            "health": report.to_dict(),
+            "worst": worst,
+            "makespan_s": makespan,
+            "dropped": dropped,
+            "exit_code": code,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return code
+    print()
+    if report.events:
+        print(report.to_table().to_ascii())
+    else:
+        print("health  : no events — run looks healthy")
+    if dropped:
+        print(f"WARNING : tracer dropped {dropped} event(s); the health "
+              "evaluation above ran on a lossy trace", file=sys.stderr)
+    if args.record:
+        print(f"record  : wrote {args.record}")
+    if args.registry:
+        print(f"registry: appended 1 entry to {args.registry}")
+    print(f"verdict : {'healthy' if worst is None else worst.upper()} "
+          f"(makespan {makespan:.6f}s virtual)")
+    return code
+
+
+def _run_history(args) -> int:
+    import json
+
+    from repro.errors import ReproError
+    from repro.observe.registry import (
+        DriftThresholds,
+        compute_trends,
+        load_registry,
+        trend_table,
+        worst_status,
+    )
+
+    try:
+        entries = load_registry(args.registry)
+    except ReproError as exc:
+        print(f"bad registry {args.registry!r}: {exc}", file=sys.stderr)
+        return 2
+    if not entries:
+        print(f"registry {args.registry!r} is missing or empty",
+              file=sys.stderr)
+        return 2
+    thresholds = DriftThresholds()
+    if args.min_history is not None:
+        thresholds = DriftThresholds(min_history=args.min_history)
+    try:
+        trends = compute_trends(entries, thresholds)
+    except ReproError as exc:
+        print(f"history error: {exc}", file=sys.stderr)
+        return 2
+    if args.series:
+        trends = [t for t in trends if args.series in t.series]
+        if not trends:
+            print(f"no series matching {args.series!r} in {args.registry}",
+                  file=sys.stderr)
+            return 2
+    status = worst_status(trends)
+    code = {"drift": 2, "warn": 1}.get(status, 0)
+    if args.json:
+        payload = {
+            "schema": "repro.cli.history/v1",
+            "registry": args.registry,
+            "entries": len(entries),
+            "trends": [
+                {
+                    "series": t.series,
+                    "metric": t.metric,
+                    "n": len(t.values),
+                    "median": t.median,
+                    "mad": t.mad,
+                    "latest": t.latest,
+                    "deviation": t.deviation,
+                    "status": t.status,
+                }
+                for t in trends
+            ],
+            "worst": status,
+            "exit_code": code,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return code
+    print(f"registry: {args.registry} ({len(entries)} entries, "
+          f"{len({t.series for t in trends})} judged series)")
+    print()
+    print(trend_table(trends).to_ascii())
+    print()
+    gates = [t for t in trends if t.gates]
+    for t in gates:
+        print(
+            f"{'DRIFT' if t.status == 'drift' else 'WARN '}   : "
+            f"{t.series} :: {t.metric} latest {t.latest:.6g} vs median "
+            f"{t.median:.6g} (deviation {t.deviation:.3g})",
+            file=sys.stderr,
+        )
+    print(f"verdict : {status}")
+    return code
+
+
+def _run_ingest(args) -> int:
+    import json
+
+    from repro.errors import ReproError
+    from repro.observe.registry import append_entries, entry_from_payload
+
+    entries = []
+    for path in args.paths:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read {path!r}: {exc}", file=sys.stderr)
+            return 2
+        # CLI --json wrappers carry the ingestible record one level down.
+        if isinstance(payload, dict) and "record" in payload and str(
+            payload.get("schema", "")
+        ).startswith("repro.cli."):
+            payload = payload["record"]
+        try:
+            entry = entry_from_payload(payload, source=path)
+        except ReproError as exc:
+            print(f"cannot ingest {path!r}: {exc}", file=sys.stderr)
+            return 2
+        entries.append(entry)
+        print(f"ingest  : {path} -> series {entry.series!r} "
+              f"({len(entry.metrics)} metrics)")
+    count = append_entries(args.registry, entries)
+    print(f"registry: appended {count} entr{'y' if count == 1 else 'ies'} "
+          f"to {args.registry}")
+    return 0
+
+
+def _run_dash(args) -> int:
+    import json
+
+    from repro.errors import ReproError
+    from repro.observe.registry import compute_trends, load_registry
+    from repro.report.dash import write_dashboard
+
+    try:
+        entries = load_registry(args.registry)
+        trends = compute_trends(entries) if entries else []
+    except ReproError as exc:
+        print(f"bad registry {args.registry!r}: {exc}", file=sys.stderr)
+        return 2
+    health_runs = []
+    for path in args.records:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read record {path!r}: {exc}", file=sys.stderr)
+            return 2
+        makespan = payload.get("makespan_s", 0.0)
+        events = payload.get("health", {}).get("events", [])
+        health_runs.append((path, makespan, events))
+    write_dashboard(
+        args.out, trends, health_runs=health_runs,
+        title="repro regression observatory",
+    )
+    print(f"dash    : wrote {args.out} ({len(trends)} trends, "
+          f"{len(health_runs)} health timeline(s))")
+    return 0
 
 
 #: Network presets for ``repro trace`` — small enough to simulate quickly,
@@ -1290,6 +1836,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_faults(args)
     if args.command == "sdc":
         return _run_sdc(args)
+    if args.command == "watch":
+        return _run_watch(args)
+    if args.command == "history":
+        return _run_history(args)
+    if args.command == "ingest":
+        return _run_ingest(args)
+    if args.command == "dash":
+        return _run_dash(args)
     if args.command == "chaos":
         return _run_chaos(args)
     if args.command == "trace":

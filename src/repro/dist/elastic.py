@@ -70,6 +70,7 @@ from repro.machine.params import MachineParams, cori_knl
 from repro.nn.zoo import mlp
 from repro.simmpi.engine import SimEngine, SimResult
 from repro.simmpi.sdc import payload_guard
+from repro.telemetry.heartbeat import emit_heartbeat
 from repro.telemetry.spans import span
 
 __all__ = [
@@ -489,6 +490,12 @@ def _elastic_loop(
                 with span("step", comm=world, step=step):
                     world.heartbeat(step=step)
                     world.advance(step_seconds)
+                    # Compute-phase heartbeat: emitted before the first
+                    # collective of the step, while per-rank clocks still
+                    # show *local* compute time — the only point where a
+                    # straggler's dilation is visible per rank (the later
+                    # collectives sync everyone to the slowest clock).
+                    emit_heartbeat(world, step=step, phase="compute")
                     if (
                         checkpoint_every
                         and step % checkpoint_every == 0
@@ -561,6 +568,7 @@ def _elastic_loop(
                             dz = relu_grad(zs[i - 1], da)
                     with span("update", comm=world):
                         opt.step(w_locals, grads)  # type: ignore[arg-type]
+                emit_heartbeat(world, step=step, loss=loss_global, phase="elastic")
             full_weights = _full_blocks(grid, w_locals)
             return losses, full_weights, grids, restores, degraded, restored, store
         except PeerFailedError:
@@ -672,6 +680,7 @@ def elastic_run_record(
     parity: int = 1,
     sdc=None,
     meta=None,
+    health_config=None,
 ):
     """Build the :class:`~repro.analysis.record.RunRecord` of an elastic run.
 
@@ -715,4 +724,5 @@ def elastic_run_record(
         machine=result.engine.network.machine,
         dropped=result.engine.tracer.dropped,
         meta=merged,
+        health_config=health_config,
     )

@@ -41,6 +41,7 @@ from repro.dist.train import _batch_columns
 from repro.errors import ConfigurationError, ShapeError
 from repro.simmpi.engine import SimEngine, SimResult
 from repro.simmpi.sdc import payload_guard
+from repro.telemetry.heartbeat import emit_heartbeat
 from repro.telemetry.spans import span
 
 __all__ = [
@@ -399,6 +400,7 @@ def _cnn_train_program(
                     conv_grads[i] = grid.comm.allreduce(dw_partial, algorithm="ring")
             with span("update", comm=comm):
                 opt.step(conv_ws + fc_ws, conv_grads + fc_grads)  # type: ignore[arg-type]
+            emit_heartbeat(comm, step=step, loss=loss_global, phase="integrated")
     return conv_ws, fc_ws, losses
 
 

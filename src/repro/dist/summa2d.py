@@ -32,6 +32,7 @@ from repro.dist.grid import GridComm
 from repro.dist.partition import BlockPartition
 from repro.errors import PartitionError, ShapeError
 from repro.simmpi.sdc import payload_guard
+from repro.telemetry.heartbeat import emit_heartbeat
 from repro.telemetry.spans import span
 
 __all__ = [
@@ -128,6 +129,7 @@ def summa_stationary_c(
                         grid.comm, a_panel @ b_panel, layer=t, step=0, gemm="summa"
                     )
                 c_local += product
+            emit_heartbeat(grid.comm, step=t, phase="summa")
     return c_local
 
 

@@ -26,6 +26,7 @@ from repro.dist.partition import BlockPartition
 from repro.dist.sgd import SGD
 from repro.errors import ConfigurationError, ShapeError
 from repro.simmpi.engine import SimEngine, SimResult
+from repro.telemetry.heartbeat import emit_heartbeat
 from repro.telemetry.spans import span
 
 __all__ = [
@@ -222,6 +223,7 @@ def mlp_train_program(
                         dz = relu_grad(zs[i - 1], da)
                 with span("update", comm=comm):
                     opt.step(w_locals, grads)  # type: ignore[arg-type]
+                emit_heartbeat(comm, step=step, loss=loss_global, phase="train")
     return w_locals, losses
 
 
@@ -320,6 +322,7 @@ def mlp_run_record(
     steps: int,
     sdc=None,
     meta=None,
+    health_config=None,
 ):
     """Build the :class:`~repro.analysis.record.RunRecord` of a traced run.
 
@@ -348,4 +351,5 @@ def mlp_run_record(
         machine=engine.network.machine,
         dropped=engine.tracer.dropped,
         meta=meta,
+        health_config=health_config,
     )

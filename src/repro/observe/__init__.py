@@ -1,0 +1,55 @@
+"""Live run health monitoring and the longitudinal run registry.
+
+Two halves (docs/OBSERVE.md):
+
+* :mod:`repro.observe.health` — a streaming rule engine over per-rank
+  heartbeats and trace events in *virtual* time.  Attach a
+  :class:`HealthMonitor` as a tracer sink (``SimEngine(metrics=...)``
+  accepts it — anything with ``observe_event`` works) to raise typed
+  :class:`HealthEvent`\\ s (stall, straggler, loss NaN/divergence,
+  comm-wait spike, checkpoint degradation) while a run executes, or
+  call :func:`evaluate_health` post-hoc on a recorded trace for a
+  deterministic report (this is what RunRecord schema v4 embeds).
+* :mod:`repro.observe.registry` — an append-only JSONL store
+  (``benchmarks/REGISTRY.jsonl``) ingesting RunRecords and BENCH
+  results, with rolling median + MAD trend baselines powering the
+  ``repro history`` drift gate and the ``repro dash`` HTML dashboard.
+"""
+
+from repro.observe.health import (
+    HEALTH_KINDS,
+    HealthConfig,
+    HealthEvent,
+    HealthMonitor,
+    HealthReport,
+    evaluate_health,
+)
+from repro.observe.registry import (
+    REGISTRY_SCHEMA,
+    DriftThresholds,
+    RegistryEntry,
+    append_entries,
+    compute_trends,
+    entry_from_bench,
+    entry_from_record,
+    load_registry,
+    record_metrics,
+)
+
+__all__ = [
+    "HEALTH_KINDS",
+    "HealthConfig",
+    "HealthEvent",
+    "HealthMonitor",
+    "HealthReport",
+    "evaluate_health",
+    "REGISTRY_SCHEMA",
+    "DriftThresholds",
+    "RegistryEntry",
+    "append_entries",
+    "compute_trends",
+    "entry_from_bench",
+    "entry_from_record",
+    "load_registry",
+    "record_metrics",
+]

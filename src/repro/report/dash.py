@@ -1,0 +1,362 @@
+"""Static HTML dashboard for the run registry (``repro dash``).
+
+One self-contained page — inline CSS, inline SVG, no external assets —
+rendering the longitudinal registry three ways:
+
+* **sparklines** per series/metric (value trajectory over ingests,
+  newest point emphasized), with median/latest/status beside each;
+* a **per-cost-term trend heatmap** for run series: one row per
+  series, one column per span cost term, each cell carrying the
+  latest-vs-median relative change *as text* with a status wash behind
+  it (status is never encoded by color alone);
+* **health-event timelines** for supplied run records: each raised
+  HealthEvent positioned on the run's virtual-time axis.
+
+Light and dark modes are both first-class: colors are CSS custom
+properties swapped by ``prefers-color-scheme`` (and a ``data-theme``
+override), with series/status steps chosen per surface rather than
+auto-inverted.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.observe.registry import MetricTrend, worst_status
+
+__all__ = ["dashboard_html", "write_dashboard"]
+
+_CSS = """
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --surface-2: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted: #898781;
+  --grid-line: #e1e0d9;
+  --baseline: #c3c2b7;
+  --border: rgba(11, 11, 11, 0.10);
+  --series-1: #2a78d6;
+  --status-good: #0ca30c;
+  --status-warn: #fab219;
+  --status-crit: #d03b3b;
+  --wash-good: rgba(12, 163, 12, 0.12);
+  --wash-warn: rgba(250, 178, 25, 0.18);
+  --wash-crit: rgba(208, 59, 59, 0.14);
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --surface-2: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted: #898781;
+    --grid-line: #2c2c2a;
+    --baseline: #383835;
+    --border: rgba(255, 255, 255, 0.10);
+    --series-1: #3987e5;
+  }
+}
+:root[data-theme="dark"] {
+  color-scheme: dark;
+  --surface-1: #1a1a19;
+  --surface-2: #0d0d0d;
+  --text-primary: #ffffff;
+  --text-secondary: #c3c2b7;
+  --text-muted: #898781;
+  --grid-line: #2c2c2a;
+  --baseline: #383835;
+  --border: rgba(255, 255, 255, 0.10);
+  --series-1: #3987e5;
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0;
+  padding: 24px;
+  background: var(--surface-2);
+  color: var(--text-primary);
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  font-size: 14px;
+  line-height: 1.45;
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 8px; }
+.subtitle { color: var(--text-secondary); margin: 0 0 20px; }
+section.card {
+  background: var(--surface-1);
+  border: 1px solid var(--border);
+  border-radius: 8px;
+  padding: 16px;
+  margin: 0 0 16px;
+}
+table { border-collapse: collapse; width: 100%; }
+th, td {
+  text-align: left;
+  padding: 4px 10px;
+  border-bottom: 1px solid var(--grid-line);
+  font-variant-numeric: tabular-nums;
+}
+th { color: var(--text-secondary); font-weight: 600; }
+td.num { text-align: right; }
+.series-name { color: var(--text-secondary); font-size: 12px; }
+.status {
+  display: inline-block;
+  padding: 0 6px;
+  border-radius: 4px;
+  font-size: 12px;
+  font-weight: 600;
+}
+.status.ok    { background: var(--wash-good); color: var(--text-primary); }
+.status.new, .status.short { color: var(--text-muted); }
+.status.warn  { background: var(--wash-warn); color: var(--text-primary); }
+.status.drift { background: var(--wash-crit); color: var(--text-primary); }
+td.cell-ok    { background: var(--wash-good); }
+td.cell-warn  { background: var(--wash-warn); }
+td.cell-drift { background: var(--wash-crit); }
+svg.spark { display: block; }
+svg.spark polyline {
+  fill: none;
+  stroke: var(--series-1);
+  stroke-width: 2;
+  stroke-linejoin: round;
+  stroke-linecap: round;
+}
+svg.spark .axis { stroke: var(--baseline); stroke-width: 1; }
+svg.spark circle { fill: var(--series-1); }
+svg.timeline .axis { stroke: var(--baseline); stroke-width: 1; }
+svg.timeline text { fill: var(--text-secondary); font-size: 11px; }
+svg.timeline .tick { fill: var(--text-muted); font-size: 10px; }
+.mark-warn { fill: var(--status-warn); }
+.mark-crit { fill: var(--status-crit); }
+.legend { color: var(--text-secondary); font-size: 12px; margin-top: 8px; }
+"""
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.6g}"
+
+
+def _sparkline(values: Sequence[float], width: int = 130, height: int = 30) -> str:
+    """Inline SVG trajectory; flat series render as a midline."""
+    pad = 3
+    n = len(values)
+    if n == 0:
+        return ""
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    xs = (
+        [pad + i * (width - 2 * pad) / (n - 1) for i in range(n)]
+        if n > 1
+        else [width / 2.0]
+    )
+
+    def y_of(v: float) -> float:
+        if span <= 0:
+            return height / 2.0
+        return pad + (hi - v) * (height - 2 * pad) / span
+
+    points = " ".join(f"{x:.1f},{y_of(v):.1f}" for x, v in zip(xs, values))
+    last_x, last_y = xs[-1], y_of(values[-1])
+    title = f"{n} points, min {_fmt(lo)}, max {_fmt(hi)}"
+    return (
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'role="img" aria-label="{html.escape(title)}">'
+        f"<title>{html.escape(title)}</title>"
+        f'<line class="axis" x1="{pad}" y1="{height - 1}" '
+        f'x2="{width - pad}" y2="{height - 1}"/>'
+        f'<polyline points="{points}"/>'
+        f'<circle cx="{last_x:.1f}" cy="{last_y:.1f}" r="2.5"/>'
+        "</svg>"
+    )
+
+
+def _status_badge(status: str) -> str:
+    return f'<span class="status {html.escape(status)}">{html.escape(status)}</span>'
+
+
+def _trend_section(trends: Sequence[MetricTrend]) -> List[str]:
+    out: List[str] = []
+    by_series: Dict[str, List[MetricTrend]] = {}
+    for t in trends:
+        by_series.setdefault(t.series, []).append(t)
+    for series in sorted(by_series):
+        rows = by_series[series]
+        out.append('<section class="card">')
+        out.append(
+            f'<h2>{html.escape(series)} '
+            f'<span class="series-name">({len(rows[0].values)} ingests)</span></h2>'
+        )
+        out.append("<table><thead><tr>")
+        for col in ("metric", "trend", "median", "latest", "deviation", "status"):
+            out.append(f"<th>{col}</th>")
+        out.append("</tr></thead><tbody>")
+        for t in rows:
+            out.append(
+                "<tr>"
+                f"<td>{html.escape(t.metric)}</td>"
+                f"<td>{_sparkline(t.values)}</td>"
+                f'<td class="num">{_fmt(t.median)}</td>'
+                f'<td class="num">{_fmt(t.latest)}</td>'
+                f'<td class="num">{t.deviation:.3g}</td>'
+                f"<td>{_status_badge(t.status)}</td>"
+                "</tr>"
+            )
+        out.append("</tbody></table>")
+        out.append("</section>")
+    return out
+
+
+def _heatmap_section(trends: Sequence[MetricTrend]) -> List[str]:
+    """Per-cost-term trend heatmap: run series x span time terms."""
+    cost = [
+        t
+        for t in trends
+        if t.series.startswith("run:")
+        and t.metric.startswith("span.")
+        and t.metric.endswith(".time_s")
+    ]
+    if not cost:
+        return []
+    terms = sorted({t.metric[len("span."):-len(".time_s")] for t in cost})
+    series_names = sorted({t.series for t in cost})
+    cell: Dict[Tuple[str, str], MetricTrend] = {
+        (t.series, t.metric[len("span."):-len(".time_s")]): t for t in cost
+    }
+    out: List[str] = ['<section class="card">']
+    out.append("<h2>Per-cost-term trends (latest vs median, run series)</h2>")
+    out.append("<table><thead><tr><th>series</th>")
+    for term in terms:
+        out.append(f"<th>{html.escape(term)}</th>")
+    out.append("</tr></thead><tbody>")
+    for series in series_names:
+        out.append(f"<tr><td>{html.escape(series)}</td>")
+        for term in terms:
+            t = cell.get((series, term))
+            if t is None:
+                out.append('<td class="num">—</td>')
+                continue
+            if t.median:
+                rel = (t.latest - t.median) / abs(t.median)
+                text = f"{rel:+.2%}"
+            else:
+                text = _fmt(t.latest)
+            klass = {"ok": "cell-ok", "warn": "cell-warn", "drift": "cell-drift"}.get(
+                t.status, ""
+            )
+            tip = (
+                f"{t.metric}: latest {_fmt(t.latest)} vs median {_fmt(t.median)} "
+                f"({t.status})"
+            )
+            out.append(
+                f'<td class="num {klass}" title="{html.escape(tip)}">'
+                f"{html.escape(text)} {html.escape(t.status)}</td>"
+            )
+        out.append("</tr>")
+    out.append("</tbody></table>")
+    out.append(
+        '<p class="legend">Each cell: relative change of the newest ingest '
+        "against the rolling median, with its drift verdict spelled out "
+        "(ok / warn / drift).</p>"
+    )
+    out.append("</section>")
+    return out
+
+
+def _timeline_section(
+    health_runs: Sequence[Tuple[str, float, List[Dict[str, Any]]]],
+) -> List[str]:
+    """One virtual-time axis per run, health events as labeled marks."""
+    if not health_runs:
+        return []
+    width, row_h = 680, 46
+    out: List[str] = ['<section class="card">']
+    out.append("<h2>Health-event timelines</h2>")
+    for label, makespan, events in health_runs:
+        out.append(f'<p class="series-name">{html.escape(label)}</p>')
+        if not events:
+            out.append('<p class="legend">no health events — clean run</p>')
+            continue
+        span_s = max(makespan, max(e.get("t_s", 0.0) for e in events), 1e-300)
+        marks: List[str] = []
+        for e in events:
+            x = 30 + (e.get("t_s", 0.0) / span_s) * (width - 60)
+            sev = e.get("severity", "warn")
+            klass = "mark-crit" if sev == "crit" else "mark-warn"
+            tip = (
+                f"{e.get('kind')} ({sev}) rank {e.get('rank')} "
+                f"@t={e.get('t_s', 0.0):.6f}s: {e.get('detail', '')}"
+            )
+            marks.append(
+                f'<g><title>{html.escape(tip)}</title>'
+                f'<circle class="{klass}" cx="{x:.1f}" cy="18" r="5"/>'
+                f'<text x="{x:.1f}" y="38" text-anchor="middle">'
+                f"{html.escape(str(e.get('kind')))}</text></g>"
+            )
+        out.append(
+            f'<svg class="timeline" width="{width}" height="{row_h}" role="img" '
+            f'aria-label="health events for {html.escape(label)}">'
+            f'<line class="axis" x1="30" y1="18" x2="{width - 30}" y2="18"/>'
+            f'<text class="tick" x="30" y="12">t=0</text>'
+            f'<text class="tick" x="{width - 30}" y="12" text-anchor="end">'
+            f"t={span_s:.3g}s</text>" + "".join(marks) + "</svg>"
+        )
+    out.append(
+        '<p class="legend">Marks sit at the virtual time each rule fired; '
+        "warn and crit severities are labeled on every mark (hover for "
+        "detail).</p>"
+    )
+    out.append("</section>")
+    return out
+
+
+def dashboard_html(
+    trends: Sequence[MetricTrend],
+    *,
+    health_runs: Optional[Sequence[Tuple[str, float, List[Dict[str, Any]]]]] = None,
+    title: str = "repro run registry",
+) -> str:
+    """Render the full dashboard page as one HTML string.
+
+    ``trends`` come from
+    :func:`repro.observe.registry.compute_trends`; ``health_runs`` is
+    an optional list of ``(label, makespan_s, health_event_dicts)``
+    triples (from RunRecord ``health`` blocks) for the timeline
+    section.
+    """
+    n_series = len({t.series for t in trends})
+    verdict = worst_status(trends)
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_CSS}</style>",
+        "</head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        f'<p class="subtitle">{n_series} series · '
+        f"{len(trends)} trended metrics · overall: {_status_badge(verdict)}</p>",
+    ]
+    parts.extend(_heatmap_section(trends))
+    parts.extend(_timeline_section(health_runs or []))
+    parts.extend(_trend_section(trends))
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_dashboard(
+    path: str,
+    trends: Sequence[MetricTrend],
+    *,
+    health_runs: Optional[Sequence[Tuple[str, float, List[Dict[str, Any]]]]] = None,
+    title: str = "repro run registry",
+) -> str:
+    import os
+
+    parent = os.path.dirname(os.fspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dashboard_html(trends, health_runs=health_runs, title=title))
+    return path

@@ -10,12 +10,15 @@ The package splits into four pieces:
   (one track per rank; open in Perfetto / ``chrome://tracing``).
 * :mod:`repro.telemetry.audit` — measured-vs-analytic communication
   audits against Eqs. 3/4/8 of the paper.
+* :mod:`repro.telemetry.heartbeat` — per-rank progress heartbeats the
+  live health monitor (:mod:`repro.observe`) evaluates.
 
 Only the always-needed, dependency-light pieces are imported here;
 ``chrome``, ``audit`` and ``summary`` are imported where used (they pull
 in the tracing and cost-model layers).
 """
 
+from repro.telemetry.heartbeat import HB_OP, emit_heartbeat, heartbeat_fields
 from repro.telemetry.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.telemetry.spans import base_name, current_path, format_label, parse_label, span
 
@@ -27,4 +30,7 @@ __all__ = [
     "base_name",
     "MetricsRegistry",
     "NULL_REGISTRY",
+    "HB_OP",
+    "emit_heartbeat",
+    "heartbeat_fields",
 ]

@@ -161,6 +161,38 @@ class Histogram(_Metric):
             cell = self._series.get(_key(labels))
             return None if cell is None else dict(cell)
 
+    def quantile(self, q: float, **labels: Any) -> Optional[float]:
+        """Bucket-interpolated ``q``-quantile estimate for one label set.
+
+        Returns ``None`` when the label set has no observations.  The
+        estimate walks the cumulative bucket counts to the bucket that
+        contains the ``q``-th sample and interpolates linearly inside
+        it; the open overflow bucket and the bucket containing the
+        minimum are clamped to the observed ``max``/``min``, so a
+        single-sample histogram returns that sample exactly for any
+        ``q``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            cell = self._series.get(_key(labels))
+            if cell is None or cell["count"] == 0:
+                return None
+            target = q * cell["count"]
+            cum = 0
+            for i, filled in enumerate(cell["buckets"]):
+                cum += filled
+                if cum >= target and filled:
+                    lo = self.buckets[i - 1] if i > 0 else cell["min"]
+                    hi = self.buckets[i] if i < len(self.buckets) else cell["max"]
+                    lo = max(lo, cell["min"])
+                    hi = min(hi, cell["max"])
+                    if hi <= lo:
+                        return lo
+                    frac = (target - (cum - filled)) / filled
+                    return lo + frac * (hi - lo)
+            return cell["max"]
+
 
 class MetricsRegistry:
     """Creates and owns metrics; doubles as a tracer event sink.
@@ -243,6 +275,19 @@ class MetricsRegistry:
             self.counter("faults.events", "fault-subsystem events").inc(
                 1, rank=event.rank, kind=op[len("fault."):]
             )
+        elif op == "hb":
+            fields = dict(event.tag)
+            self.counter("hb.count", "heartbeats emitted").inc(1, rank=event.rank)
+            step = fields.get("step")
+            if step is not None:
+                self.gauge("hb.step", "latest heartbeat step").set_max(
+                    step, rank=event.rank
+                )
+            loss = fields.get("loss")
+            if loss is not None:
+                self.gauge("hb.loss", "latest heartbeat loss").set(
+                    loss, rank=event.rank
+                )
         else:  # collective entry markers ("allreduce[ring]", ...)
             self.counter("coll.calls", "collective entries").inc(
                 1, rank=event.rank, op=op
@@ -250,6 +295,53 @@ class MetricsRegistry:
         self.gauge("clock.seconds", "per-rank virtual clock").set_max(
             event.t_end, rank=event.rank
         )
+
+    # -- combination ---------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other``'s series into this registry, in place.
+
+        Counters add, gauges keep the maximum (matching their
+        ``set_max`` use for per-rank clocks), histogram cells combine
+        count/sum/min/max and add bucket fills.  Metrics present in only
+        one registry are copied over unchanged.  Raises
+        :class:`~repro.errors.ConfigurationError` on a kind mismatch or
+        on histograms with different bucket bounds.
+        """
+        if not self.enabled:
+            return
+        for theirs in other.metrics():
+            if isinstance(theirs, Histogram):
+                mine = self.histogram(
+                    theirs.name, theirs.description, buckets=theirs.buckets
+                )
+                if mine.buckets != theirs.buckets:
+                    raise ConfigurationError(
+                        f"histogram {theirs.name!r} bucket bounds differ: "
+                        f"{mine.buckets} vs {theirs.buckets}"
+                    )
+            else:
+                mine = self._get(type(theirs), theirs.name, theirs.description)
+            for key, value in theirs.series().items():
+                with self._lock:
+                    cur = mine._series.get(key)
+                    if cur is None:
+                        mine._series[key] = (
+                            dict(value, buckets=list(value["buckets"]))
+                            if isinstance(mine, Histogram)
+                            else value
+                        )
+                    elif isinstance(mine, Counter):
+                        mine._series[key] = cur + value
+                    elif isinstance(mine, Gauge):
+                        mine._series[key] = max(cur, value)
+                    else:
+                        cur["count"] += value["count"]
+                        cur["sum"] += value["sum"]
+                        cur["min"] = min(cur["min"], value["min"])
+                        cur["max"] = max(cur["max"], value["max"])
+                        for i, filled in enumerate(value["buckets"]):
+                            cur["buckets"][i] += filled
 
     # -- export --------------------------------------------------------------
 

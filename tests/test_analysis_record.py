@@ -245,11 +245,16 @@ class TestCheckpointCounters:
 
     def test_older_schemas_still_load(self):
         payload = _mlp_record().to_dict()
-        for old in ("repro.analysis.record/v1", "repro.analysis.record/v2"):
+        for old in (
+            "repro.analysis.record/v1",
+            "repro.analysis.record/v2",
+            "repro.analysis.record/v3",
+        ):
             older = dict(payload)
             older["schema"] = old
             record = RunRecord.from_dict(older)
             assert record.ckpt == {}
+            assert record.health == {}
 
     def test_validator_rejects_bad_ckpt(self):
         payload = self._elastic_record().to_dict()
@@ -261,3 +266,81 @@ class TestCheckpointCounters:
         bad["ckpt"] = {**payload["ckpt"], "takes": -1}
         with pytest.raises(ConfigurationError):
             validate_run_record(bad)
+
+
+class TestHealthBlock:
+    def _faulty_record(self):
+        from repro.observe.health import HealthConfig
+        from repro.simmpi.faults import Straggler
+
+        rng = np.random.default_rng(5)
+        dims = (8, 10, 6)
+        x = rng.standard_normal((dims[0], 32))
+        y = rng.integers(0, dims[-1], 32)
+        plan = FaultPlan(
+            seed=5, stragglers=(Straggler(rank=0, factor=2.0),)
+        )
+        result = elastic_mlp_train(
+            MLPParams.init(dims, seed=5), x, y, pr=2, pc=4, batch=8,
+            steps=6, checkpoint_every=2, faults=plan, trace=True,
+        )
+        return elastic_run_record(
+            result, batch=8, steps=6, health_config=HealthConfig()
+        )
+
+    def test_health_block_round_trips(self):
+        record = self._faulty_record()
+        assert record.health["counts"].get("straggler", 0) >= 1
+        payload = record.to_dict()
+        validate_run_record(payload)
+        assert payload["health"]["events"]
+        counts = {}
+        for event in payload["health"]["events"]:
+            counts[event["kind"]] = counts.get(event["kind"], 0) + 1
+        assert counts == payload["health"]["counts"]
+        again = RunRecord.from_json(record.to_json())
+        assert again.health == record.health
+        assert again == record
+
+    def test_healthy_run_omits_block(self):
+        from repro.observe.health import HealthConfig
+
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((DIMS[0], 32))
+        y = rng.integers(0, DIMS[-1], 32)
+        engine = SimEngine(4, trace=True)
+        _, _, sim = distributed_mlp_train(
+            MLPParams.init(DIMS, seed=0), x, y,
+            pr=2, pc=2, batch=8, steps=2, engine=engine,
+        )
+        record = mlp_run_record(
+            engine, sim, dims=DIMS, pr=2, pc=2, batch=8, steps=2,
+            health_config=HealthConfig(),
+        )
+        assert record.health == {}
+        assert "health" not in record.to_dict()
+
+    def test_no_config_means_no_health(self):
+        assert "health" not in _mlp_record().to_dict()
+
+    @pytest.mark.parametrize(
+        "health",
+        [
+            {"mystery": 1},
+            {"counts": {"not_a_kind": 1}},
+            {"counts": {"stall": -1}},
+            {"counts": []},
+            {"events": {"kind": "stall"}},
+            {"events": [{"kind": "stall", "rank": 0, "t_s": 1e-6,
+                         "severity": "mild", "detail": "x"}]},
+            {"events": [{"kind": "nope", "rank": 0, "t_s": 1e-6,
+                         "severity": "crit", "detail": "x"}]},
+            {"events": [{"kind": "stall", "rank": "zero", "t_s": 1e-6,
+                         "severity": "crit", "detail": "x"}]},
+        ],
+    )
+    def test_validator_rejects_bad_health(self, health):
+        payload = _mlp_record().to_dict()
+        payload["health"] = health
+        with pytest.raises(ConfigurationError):
+            validate_run_record(payload)

@@ -1,0 +1,223 @@
+"""Tests for the longitudinal run registry and its drift observatory."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.dist.train import MLPParams, distributed_mlp_train, mlp_run_record
+from repro.errors import ConfigurationError
+from repro.observe.registry import (
+    REGISTRY_SCHEMA,
+    DriftThresholds,
+    RegistryEntry,
+    append_entries,
+    compute_trends,
+    entry_from_bench,
+    entry_from_payload,
+    entry_from_record,
+    load_registry,
+    trend_table,
+    worst_status,
+)
+from repro.simmpi.engine import SimEngine
+
+
+def make_entry(series="run:test:a=1,grid=2x2", **metrics):
+    metrics = metrics or {"makespan_s": 1.0}
+    return RegistryEntry(kind="run", series=series,
+                         metrics={k: float(v) for k, v in metrics.items()})
+
+
+def series_history(values, metric="makespan_s"):
+    return [make_entry(**{metric: v}) for v in values]
+
+
+def record_payload():
+    dims = (8, 6, 4)
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((dims[0], 8))
+    y = rng.integers(0, dims[-1], 8)
+    params0 = MLPParams.init(dims, seed=0)
+    engine = SimEngine(4, None, trace=True)
+    _, _, sim = distributed_mlp_train(
+        params0, x, y, pr=2, pc=2, batch=4, steps=2, engine=engine
+    )
+    return mlp_run_record(
+        engine, sim, dims=dims, pr=2, pc=2, batch=4, steps=2
+    ).to_dict()
+
+
+class TestEntry:
+    def test_round_trip(self):
+        entry = make_entry(makespan_s=2.0, dropped=0)
+        assert RegistryEntry.from_dict(entry.to_dict()) == entry
+
+    def test_schema_tagged(self):
+        assert make_entry().to_dict()["schema"] == REGISTRY_SCHEMA
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.update(schema="nope"),
+            lambda d: d.update(kind="mystery"),
+            lambda d: d.update(series=""),
+            lambda d: d.update(metrics={}),
+            lambda d: d.update(metrics={"m": "high"}),
+            lambda d: d.update(metrics={"m": True}),
+        ],
+    )
+    def test_bad_payloads_rejected(self, mutate):
+        payload = make_entry().to_dict()
+        mutate(payload)
+        with pytest.raises(ConfigurationError):
+            RegistryEntry.from_dict(payload)
+
+
+class TestIngestion:
+    def test_record_entry_series_and_metrics(self):
+        payload = record_payload()
+        entry = entry_from_record(payload, source="test")
+        assert entry.kind == "run"
+        assert entry.series.startswith("run:train:")
+        assert "grid=2x2" in entry.series
+        assert entry.metrics["makespan_s"] == payload["makespan_s"]
+        assert "dropped" in entry.metrics
+        assert entry.source == "test"
+
+    def test_health_counts_flattened(self):
+        payload = record_payload()
+        payload["health"] = {
+            "counts": {"straggler": 2},
+            "events": [
+                {"kind": "straggler", "rank": 0, "t_s": 1e-6,
+                 "severity": "warn", "detail": "slow", "step": 2},
+            ] * 2,
+        }
+        entry = entry_from_record(payload)
+        assert entry.metrics["health.straggler"] == 2.0
+
+    def test_bench_entry(self):
+        payload = {
+            "schema": "repro.observe.bench/v1",
+            "config": {"steps": 3},
+            "overhead": 1.0,
+            "bare_s": 2e-5,
+            "identical": True,  # bools excluded from metrics
+        }
+        entry = entry_from_bench(payload, source="bench")
+        assert entry.kind == "bench"
+        assert entry.series == "bench:observe"
+        assert entry.metrics == {"overhead": 1.0, "bare_s": 2e-5}
+
+    def test_payload_auto_detect(self):
+        assert entry_from_payload(record_payload()).kind == "run"
+        bench = {"schema": "repro.search.bench/v1", "speedup": 2.0}
+        assert entry_from_payload(bench).series == "bench:search"
+        with pytest.raises(ConfigurationError, match="cannot ingest"):
+            entry_from_payload({"schema": "mystery/v9"})
+
+
+class TestStore:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "reg.jsonl")
+        entries = [make_entry(makespan_s=v) for v in (1.0, 2.0, 3.0)]
+        assert append_entries(path, entries) == 3
+        assert load_registry(path) == entries
+        # Append-only: a second write extends, never rewrites.
+        append_entries(path, [make_entry(makespan_s=4.0)])
+        assert len(load_registry(path)) == 4
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_registry(str(tmp_path / "nope.jsonl")) == []
+
+    def test_bad_line_reports_position(self, tmp_path):
+        path = tmp_path / "reg.jsonl"
+        good = json.dumps(make_entry().to_dict())
+        path.write_text(good + "\n{not json}\n")
+        with pytest.raises(ConfigurationError, match="2"):
+            load_registry(str(path))
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = str(tmp_path / "deep" / "reg.jsonl")
+        append_entries(path, [make_entry()])
+        assert len(load_registry(path)) == 1
+
+
+class TestDrift:
+    def test_thresholds_validate(self):
+        DriftThresholds().validate()
+        with pytest.raises(ConfigurationError):
+            DriftThresholds(min_history=1).validate()
+        with pytest.raises(ConfigurationError):
+            DriftThresholds(warn_z=5.0, crit_z=3.0).validate()
+        with pytest.raises(ConfigurationError):
+            DriftThresholds(rel_warn=0.5, rel_crit=0.1).validate()
+
+    def test_stable_series_is_ok(self):
+        trends = compute_trends(series_history([1.0] * 5))
+        assert [t.status for t in trends] == ["ok"]
+        assert worst_status(trends) == "ok"
+
+    def test_single_entry_is_new(self):
+        trends = compute_trends(series_history([1.0]))
+        assert [t.status for t in trends] == ["new"]
+        assert worst_status(trends) == "ok"
+
+    def test_short_history_never_gates(self):
+        trends = compute_trends(series_history([1.0, 9.0]))
+        assert [t.status for t in trends] == ["short"]
+        assert not trends[0].gates
+
+    def test_zero_mad_uses_relative_bands(self):
+        # Bit-stable history: any visible change is judged relatively.
+        trends = compute_trends(series_history([1.0, 1.0, 1.0, 1.0, 1.03]))
+        assert trends[0].status == "warn"  # 3% > rel_warn 2%
+        trends = compute_trends(series_history([1.0, 1.0, 1.0, 1.0, 1.2]))
+        assert trends[0].status == "drift"  # 20% > rel_crit 10%
+        assert worst_status(trends) == "drift"
+
+    def test_mad_bands_absorb_jitter(self):
+        noisy = [1.0, 1.1, 0.9, 1.05, 0.95, 1.02]
+        trends = compute_trends(series_history(noisy))
+        assert trends[0].status == "ok"
+
+    def test_robust_z_flags_outlier(self):
+        values = [1.0, 1.01, 0.99, 1.02, 0.98, 3.0]
+        trends = compute_trends(series_history(values))
+        assert trends[0].status == "drift"
+
+    def test_only_latest_entry_metrics_judged(self):
+        entries = series_history([1.0] * 5)
+        entries[0] = make_entry(makespan_s=1.0, vanished=9.0)
+        trends = compute_trends(entries)
+        assert [t.metric for t in trends] == ["makespan_s"]
+
+    def test_series_are_independent(self):
+        entries = series_history([1.0] * 5) + [
+            make_entry(series="run:test:b=2,grid=2x2", makespan_s=v)
+            for v in (1.0, 1.0, 1.0, 1.0, 9.0)
+        ]
+        trends = compute_trends(entries)
+        by_series = {t.series: t.status for t in trends}
+        assert by_series["run:test:a=1,grid=2x2"] == "ok"
+        assert by_series["run:test:b=2,grid=2x2"] == "drift"
+
+    def test_trend_table_renders(self):
+        table = trend_table(compute_trends(series_history([1.0] * 5)))
+        text = table.to_ascii()
+        assert "makespan_s" in text and "ok" in text
+
+
+class TestEndToEnd:
+    def test_record_histories_gate_on_injected_drift(self, tmp_path):
+        path = str(tmp_path / "reg.jsonl")
+        payload = record_payload()
+        append_entries(
+            path, [entry_from_record(payload) for _ in range(5)]
+        )
+        assert worst_status(compute_trends(load_registry(path))) == "ok"
+        drifted = json.loads(json.dumps(payload))
+        drifted["makespan_s"] *= 1.5
+        append_entries(path, [entry_from_record(drifted)])
+        assert worst_status(compute_trends(load_registry(path))) == "drift"

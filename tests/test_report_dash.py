@@ -1,0 +1,89 @@
+"""Tests for the static HTML regression-observatory dashboard."""
+
+from repro.observe.registry import MetricTrend, compute_trends
+from repro.report.dash import dashboard_html, write_dashboard
+from tests.test_observe_registry import make_entry, series_history
+
+
+def trend(status="ok", metric="makespan_s", series="run:test:a=1,grid=2x2",
+          values=(1.0, 1.0, 1.0, 1.0, 1.0)):
+    return MetricTrend(
+        series=series, metric=metric, values=tuple(values),
+        median=values[-1], mad=0.0, latest=values[-1],
+        deviation=0.0, status=status,
+    )
+
+
+class TestDashboardHtml:
+    def test_selfcontained_document(self):
+        html = dashboard_html([trend()])
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<style>" in html
+        body = html.split("</style>")[-1]
+        assert "http://" not in body and "https://" not in body
+        assert "<script" not in html  # static: no JS at all
+
+    def test_trend_rows_and_sparklines(self):
+        html = dashboard_html(
+            [trend(values=(1.0, 2.0, 3.0, 2.5, 2.0))]
+        )
+        assert "makespan_s" in html
+        assert "<polyline" in html  # the sparkline itself
+        assert "run:test:a=1,grid=2x2" in html
+
+    def test_status_badges_carry_text_not_just_color(self):
+        for status in ("ok", "warn", "drift", "short", "new"):
+            html = dashboard_html([trend(status=status)])
+            assert f">{status}</span>" in html
+
+    def test_heatmap_covers_span_cost_terms(self):
+        trends = [
+            trend(metric="span.fwd.time_s"),
+            trend(metric="span.bwd_dw.time_s", status="warn"),
+        ]
+        html = dashboard_html(trends)
+        assert "fwd" in html and "bwd_dw" in html
+
+    def test_health_timeline_marks_events(self):
+        events = [
+            {"kind": "straggler", "rank": 0, "t_s": 1e-6,
+             "severity": "warn", "detail": "slow", "step": 2},
+            {"kind": "ckpt_degraded", "rank": 1, "t_s": 2e-6,
+             "severity": "crit", "detail": "degraded"},
+        ]
+        html = dashboard_html(
+            [trend()], health_runs=[("run.json", 3e-6, events)]
+        )
+        assert "straggler" in html and "ckpt_degraded" in html
+        assert "run.json" in html
+
+    def test_escapes_untrusted_strings(self):
+        html = dashboard_html(
+            [trend(series="run:<script>alert(1)</script>,grid=1x1")]
+        )
+        assert "<script>alert(1)</script>" not in html
+
+    def test_dark_mode_styles_present(self):
+        html = dashboard_html([trend()])
+        assert "prefers-color-scheme: dark" in html
+
+    def test_empty_registry_still_renders(self):
+        html = dashboard_html([])
+        assert html.startswith("<!DOCTYPE html>")
+
+    def test_real_trends_round_trip(self):
+        trends = compute_trends(
+            series_history([1.0, 1.0, 1.0, 1.0, 1.2])
+            + [make_entry(series="run:other:b=1,grid=1x1", makespan_s=2.0)]
+        )
+        html = dashboard_html(trends)
+        assert "drift" in html and "new" in html
+
+
+class TestWriteDashboard:
+    def test_writes_file_and_creates_dirs(self, tmp_path):
+        path = str(tmp_path / "deep" / "dash.html")
+        out = write_dashboard(path, [trend()], title="observatory")
+        assert out == path
+        content = open(path).read()
+        assert "observatory" in content

@@ -141,3 +141,149 @@ class TestTracerScalability:
         eng.run(_chatter)
         assert len(eng.tracer.events) == 4
         assert eng.tracer.dropped > 0
+
+
+class TestHistogramQuantiles:
+    def test_empty_histogram_has_no_quantiles(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 10.0))
+        assert h.quantile(0.5) is None
+        assert h.quantile(0.0) is None and h.quantile(1.0) is None
+
+    def test_single_sample_returns_that_sample(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 10.0))
+        h.observe(3.5)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 3.5
+
+    def test_quantiles_interpolate_within_buckets(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 2.5, 3.5):
+            h.observe(v)
+        q50 = h.quantile(0.5)
+        assert 1.0 <= q50 <= 2.5
+        assert h.quantile(0.0) == 0.5  # clamped to observed min
+        assert h.quantile(1.0) == 3.5  # clamped to observed max
+
+    def test_out_of_range_q_rejected(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0,))
+        h.observe(0.5)
+        with pytest.raises(ConfigurationError):
+            h.quantile(-0.1)
+        with pytest.raises(ConfigurationError):
+            h.quantile(1.5)
+
+    def test_per_label_quantiles_are_independent(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 10.0))
+        h.observe(0.5, rank=0)
+        h.observe(50.0, rank=1)
+        assert h.quantile(0.5, rank=0) == 0.5
+        assert h.quantile(0.5, rank=1) == 50.0
+        assert h.quantile(0.5, rank=9) is None
+
+
+class TestRegistryMerge:
+    def test_merge_disjoint_registries(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("sends").inc(2, rank=0)
+        b.counter("recvs").inc(3, rank=1)
+        a.merge(b)
+        assert a.counter("sends").value(rank=0) == 2
+        assert a.counter("recvs").value(rank=1) == 3
+        assert b.counter("recvs").value(rank=1) == 3  # source untouched
+
+    def test_merge_adds_counters_and_maxes_gauges(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(2, rank=0)
+        b.counter("n").inc(5, rank=0)
+        a.gauge("clock").set(1.0, rank=0)
+        b.gauge("clock").set(3.0, rank=0)
+        a.merge(b)
+        assert a.counter("n").value(rank=0) == 7
+        assert a.gauge("clock").value(rank=0) == 3.0
+
+    def test_merge_combines_histogram_cells(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        ha = a.histogram("lat", buckets=(1.0, 10.0))
+        hb = b.histogram("lat", buckets=(1.0, 10.0))
+        ha.observe(0.5)
+        hb.observe(5.0)
+        hb.observe(50.0)
+        a.merge(b)
+        stats = ha.stats()
+        assert stats["count"] == 3
+        assert stats["min"] == 0.5 and stats["max"] == 50.0
+        assert stats["buckets"] == [1, 1, 1]
+
+    def test_merge_kind_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x")
+        b.gauge("x")
+        with pytest.raises(ConfigurationError):
+            a.merge(b)
+
+    def test_merge_bucket_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(1.0,))
+        b.histogram("h", buckets=(2.0,))
+        b.histogram("h", buckets=(2.0,)).observe(1.0)
+        with pytest.raises(ConfigurationError):
+            a.merge(b)
+
+    def test_merged_histogram_deep_copied(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.histogram("lat", buckets=(1.0,)).observe(0.5)
+        a.merge(b)
+        b.histogram("lat", buckets=(1.0,)).observe(0.7)
+        assert a.histogram("lat", buckets=(1.0,)).stats()["count"] == 1
+        assert b.histogram("lat", buckets=(1.0,)).stats()["count"] == 2
+
+
+def _nested_chatter(comm):
+    with span("outer", comm=comm):
+        comm.allreduce(np.ones(4), algorithm="ring")
+        with span("inner", comm=comm):
+            comm.allreduce(np.ones(4), algorithm="ring")
+    with span("outer", comm=comm):
+        pass
+    return comm.rank
+
+
+class TestStreamingSinkOrdering:
+    def test_interleaved_spans_stream_consistently(self):
+        """Per-rank event order through the sink matches the stored trace."""
+        per_rank = {}
+
+        class Recorder:
+            def observe_event(self, event):
+                per_rank.setdefault(event.rank, []).append(event)
+
+        eng = SimEngine(2, trace=True, metrics=Recorder())
+        eng.run(_nested_chatter)
+        stored = eng.tracer.canonical()
+        for rank, streamed in per_rank.items():
+            kept = [e for e in stored if e.rank == rank]
+            assert streamed == kept
+
+    def test_span_counts_survive_interleaving(self):
+        reg = MetricsRegistry()
+        eng = SimEngine(2, metrics=reg)
+        eng.run(_nested_chatter)
+        # Each rank opens "outer" twice and "inner" once; spans are
+        # labeled by their leaf name.
+        assert reg.counter("span.count").value(rank=0, span="outer") == 2
+        assert reg.counter("span.count").value(rank=0, span="inner") == 1
+        assert reg.counter("span.count").value(rank=1, span="outer") == 2
+
+    def test_heartbeats_feed_hb_metrics_not_coll_calls(self):
+        from repro.simmpi.tracing import TraceEvent as TE
+
+        reg = MetricsRegistry()
+        before = reg.counter("coll.calls").total()
+        reg.observe_event(TE(
+            rank=1, op="hb", peer=-1, nbytes=0, t_start=1e-6, t_end=1e-6,
+            tag=(("loss", 0.25), ("phase", "train"), ("step", 4)),
+        ))
+        assert reg.counter("hb.count").value(rank=1) == 1
+        assert reg.gauge("hb.step").value(rank=1) == 4
+        assert reg.gauge("hb.loss").value(rank=1) == 0.25
+        assert reg.counter("coll.calls").total() == before
