@@ -1,0 +1,271 @@
+"""Scheduler-speedup gate for the discrete-event simmpi backend.
+
+Three claims are gated against the committed baseline in
+``benchmarks/BENCH_simmpi.json``:
+
+1. **Scheduler speedup.**  A barrier storm (pure blocking/wakeup
+   traffic, no numerics) is timed under both backends at P=64 and
+   P=512.  The event backend must beat one-OS-thread-per-rank by the
+   committed floors.  The gap grows with rank count — at P=64 the
+   per-message Python shared by both backends dominates and the honest
+   ratio is ~2x; at P=512 the threaded scheduler collapses under
+   context-switch pressure and the event backend wins by ~7-14x.
+   Ratios are medians over ``REPS`` runs, and the committed floors sit
+   well below quiet-machine measurements because the *threaded* wall
+   time swings ~2x with OS scheduling noise on a shared single-core CI
+   runner; the measured ratios are recorded in the baseline for eyes,
+   the floors are what CI enforces.
+
+2. **Scale ceiling.**  A full-telemetry, fault-injected 1.5D training
+   step at P=1024 (event backend only — the threaded equivalent takes
+   minutes) must finish within the committed wall-clock ceiling:
+   the "10k+ ranks are routine" claim, kept honest in seconds.
+
+3. **Bit-identity.**  A differential run re-asserts the backend
+   contract inside the gate: values, final clocks, and canonical trace
+   identical across backends (the full matrix lives in
+   ``tests/test_backend_matrix.py``).
+
+Exit-code convention (same as the other ``BENCH_*`` gates):
+
+* ``0`` — all gates pass.
+* ``1`` — regression (``REGRESSION: ...`` on stderr).
+* ``2`` — configuration error (unreadable/mismatched baseline).
+
+Refresh the baseline after an intentional change with::
+
+    python benchmarks/bench_simmpi.py --update-baseline
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+
+import numpy as np
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_simmpi.json")
+BENCH_SCHEMA = "repro.simmpi.bench/v1"
+
+REPS = 3
+
+CONFIG = {
+    "storm_small": {"ranks": 64, "rounds": 40},
+    "storm_large": {"ranks": 512, "rounds": 8},
+    "scale": {"pr": 32, "pc": 32, "steps": 1, "dims": [64, 64, 32]},
+    "reps": REPS,
+}
+
+# Committed gates.  Quiet-machine medians are ~2.3x (P=64) and ~12x
+# (P=512); the floors sit below them because the threaded wall time
+# swings ~2x with OS scheduling noise on shared single-core CI runners.
+FLOOR_P64 = 1.4
+FLOOR_P512 = 6.0
+CEILING_P1024_S = 60.0
+
+
+def _storm(comm, rounds):
+    for _ in range(rounds):
+        comm.barrier()
+    return comm.clock
+
+
+def _time_storm(backend, ranks, rounds):
+    from repro.simmpi.engine import SimEngine
+
+    engine = SimEngine(ranks, backend=backend)
+    t0 = time.monotonic()
+    engine.run(_storm, rounds)
+    return time.monotonic() - t0
+
+
+def _storm_ratio(ranks, rounds):
+    """Median thread/event wall ratio over REPS interleaved runs."""
+    ratios = []
+    for _ in range(REPS):
+        event_wall = _time_storm("event", ranks, rounds)
+        thread_wall = _time_storm("thread", ranks, rounds)
+        ratios.append(thread_wall / event_wall)
+    return statistics.median(ratios), ratios
+
+
+def _scale_run():
+    """Full-telemetry fault-injected P=1024 training step, event backend."""
+    from repro.dist.train import MLPParams, distributed_mlp_train
+    from repro.simmpi.engine import SimEngine
+    from repro.simmpi.faults import FaultPlan, LinkFault, Straggler
+
+    cfg = CONFIG["scale"]
+    pr, pc = cfg["pr"], cfg["pc"]
+    dims = tuple(cfg["dims"])
+    batch = pc * 2
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((dims[0], 2 * batch))
+    y = rng.integers(0, dims[-1], 2 * batch)
+    params0 = MLPParams.init(dims, seed=1)
+    plan = FaultPlan(
+        seed=5,
+        stragglers=(Straggler(rank=3, factor=2.0, jitter=0.05),),
+        links=(
+            LinkFault(
+                src=0, dst=1, latency_factor=4.0, bandwidth_factor=2.0,
+                t_start=0.0, t_end=1.0,
+            ),
+        ),
+    )
+    engine = SimEngine(pr * pc, backend="event", trace=True, faults=plan)
+    t0 = time.monotonic()
+    _, losses, sim = distributed_mlp_train(
+        params0, x, y, pr=pr, pc=pc, batch=batch, steps=cfg["steps"],
+        engine=engine,
+    )
+    wall = time.monotonic() - t0
+    ok = (
+        bool(np.isfinite(losses).all())
+        and len(sim.clocks) == pr * pc
+        and len(engine.tracer.events) > 100 * pr * pc
+    )
+    return wall, ok
+
+
+def _bit_identity():
+    """Small differential run: values, clocks, canonical trace equal."""
+    from repro.dist.train import MLPParams, distributed_mlp_train
+    from repro.simmpi.engine import SimEngine
+
+    dims = (12, 10, 6)
+    rng = np.random.default_rng(3)
+    x = rng.standard_normal((dims[0], 32))
+    y = rng.integers(0, dims[-1], 32)
+    params0 = MLPParams.init(dims, seed=2)
+    out = {}
+    for backend in ("thread", "event"):
+        engine = SimEngine(4, backend=backend, trace=True)
+        w, losses, sim = distributed_mlp_train(
+            params0, x, y, pr=2, pc=2, batch=8, steps=2, engine=engine
+        )
+        out[backend] = (w, losses, sim, engine.tracer.canonical())
+    wt, lt, st, ct = out["thread"]
+    we, le, se, ce = out["event"]
+    return (
+        all(a.tobytes() == b.tobytes() for a, b in zip(wt, we))
+        and lt == le
+        and st.clocks == se.clocks
+        and ct == ce
+    )
+
+
+def run_simmpi_bench() -> dict:
+    small = CONFIG["storm_small"]
+    large = CONFIG["storm_large"]
+    ratio_small, reps_small = _storm_ratio(small["ranks"], small["rounds"])
+    ratio_large, reps_large = _storm_ratio(large["ranks"], large["rounds"])
+    scale_wall, scale_ok = _scale_run()
+    return {
+        "schema": BENCH_SCHEMA,
+        "config": CONFIG,
+        "ratio_p64": ratio_small,
+        "ratio_p64_reps": reps_small,
+        "ratio_p512": ratio_large,
+        "ratio_p512_reps": reps_large,
+        "scale_wall_s": scale_wall,
+        "scale_ok": scale_ok,
+        "identical": _bit_identity(),
+        "floor_p64": FLOOR_P64,
+        "floor_p512": FLOOR_P512,
+        "ceiling_s": CEILING_P1024_S,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=BASELINE_PATH)
+    parser.add_argument("--update-baseline", action="store_true")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.0,
+        help="extra slack on the committed gates (fraction)",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        print("bench gate error: tolerance must be >= 0", file=sys.stderr)
+        return 2
+
+    record = run_simmpi_bench()
+    print(f"storm P={CONFIG['storm_small']['ranks']:>4}: "
+          f"event beats thread by {record['ratio_p64']:.1f}x "
+          f"(reps {[f'{r:.1f}' for r in record['ratio_p64_reps']]})")
+    print(f"storm P={CONFIG['storm_large']['ranks']:>4}: "
+          f"event beats thread by {record['ratio_p512']:.1f}x "
+          f"(reps {[f'{r:.1f}' for r in record['ratio_p512_reps']]})")
+    print(f"scale P=1024: full-telemetry faulted step in "
+          f"{record['scale_wall_s']:.1f}s (event backend)")
+    print(f"identity    : {'PASS' if record['identical'] else 'FAIL'}")
+
+    if args.update_baseline:
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline    : updated {args.baseline}")
+        return 0
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read baseline {args.baseline!r}: {exc}", file=sys.stderr)
+        return 2
+    if baseline.get("schema") != BENCH_SCHEMA:
+        print(f"bad baseline schema {baseline.get('schema')!r}", file=sys.stderr)
+        return 2
+    if baseline.get("config") != record["config"]:
+        print("baseline config does not match this benchmark's config; "
+              "re-run with --update-baseline", file=sys.stderr)
+        return 2
+
+    slack = 1.0 - min(args.tolerance, 0.99)
+    failures = []
+    floor_small = float(baseline["floor_p64"]) * slack
+    if record["ratio_p64"] < floor_small:
+        failures.append(
+            f"P=64 scheduler speedup {record['ratio_p64']:.2f}x fell below "
+            f"the committed floor {floor_small:.2f}x"
+        )
+    floor_large = float(baseline["floor_p512"]) * slack
+    if record["ratio_p512"] < floor_large:
+        failures.append(
+            f"P=512 scheduler speedup {record['ratio_p512']:.2f}x fell below "
+            f"the committed floor {floor_large:.2f}x"
+        )
+    ceiling = float(baseline["ceiling_s"]) * (1.0 + args.tolerance)
+    if record["scale_wall_s"] > ceiling:
+        failures.append(
+            f"P=1024 full-telemetry step took {record['scale_wall_s']:.1f}s, "
+            f"over the committed ceiling {ceiling:.1f}s"
+        )
+    if not record["scale_ok"]:
+        failures.append(
+            "P=1024 run lost its telemetry or clocks (scale sanity failed)"
+        )
+    if not record["identical"]:
+        failures.append(
+            "event backend diverged bitwise from the threaded backend "
+            "(values, clocks, or canonical trace)"
+        )
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print(f"gate        : PASS (floors {floor_small:.1f}x / {floor_large:.1f}x, "
+          f"ceiling {ceiling:.0f}s)")
+    return 0
+
+
+def test_simmpi_backend_gate():
+    """Tier-2 hook so `pytest benchmarks/bench_simmpi.py` runs the gate."""
+    assert main([]) == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

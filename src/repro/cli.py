@@ -27,6 +27,19 @@ from repro.report.export import export_results, write_text
 __all__ = ["main", "build_parser"]
 
 
+def _add_engine_arg(p) -> None:
+    p.add_argument(
+        "--engine",
+        default="thread",
+        choices=["thread", "event"],
+        help=(
+            "simmpi scheduler backend: 'thread' (one OS thread per rank) or "
+            "'event' (single-threaded discrete-event; identical results, far "
+            "cheaper at scale) (default: thread)"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -175,6 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit one machine-readable JSON object instead of tables",
     )
+    _add_engine_arg(faults_p)
 
     sdc_p = sub.add_parser(
         "sdc",
@@ -207,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the last run's versioned RunRecord JSON to this path",
     )
+    _add_engine_arg(sdc_p)
 
     chaos_p = sub.add_parser(
         "chaos",
@@ -263,6 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the chaos_summary payload as JSON on stdout",
     )
+    _add_engine_arg(chaos_p)
 
     trace_p = sub.add_parser(
         "trace",
@@ -311,6 +327,7 @@ def build_parser() -> argparse.ArgumentParser:
             "explicit abft.* cost-model terms"
         ),
     )
+    _add_engine_arg(trace_p)
 
     watch_p = sub.add_parser(
         "watch",
@@ -361,6 +378,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit one machine-readable JSON object instead of live lines",
     )
+    _add_engine_arg(watch_p)
 
     history_p = sub.add_parser(
         "history",
@@ -694,6 +712,7 @@ def _run_faults(args) -> int:
         result = elastic_mlp_train(
             params0, x, y, pr=pr, pc=pc, batch=batch, steps=args.steps,
             checkpoint_every=2, faults=plan, trace=True, sdc=args.sdc,
+            engine=args.engine,
         )
     except ReproError as exc:
         print(f"DEGRADED: run failed under the fault plan: {exc}", file=sys.stderr)
@@ -848,7 +867,8 @@ def _run_sdc(args) -> int:
     params0 = MLPParams.init(dims, seed=args.seed)
 
     def run(plan=None, guard=None):
-        engine = SimEngine(pr * pc, None, trace=True, faults=plan)
+        engine = SimEngine(pr * pc, None, trace=True, faults=plan,
+                           backend=args.engine)
         weights, _, sim = distributed_mlp_train(
             params0, x, y, pr=pr, pc=pc, batch=batch, steps=args.steps,
             engine=engine, sdc=guard,
@@ -1108,7 +1128,7 @@ def _run_chaos(args) -> int:
                     params0, x, y, pr=pr, pc=pc, batch=batch, steps=steps,
                     checkpoint_every=2, ckpt_mode=mode, parity=parity,
                     faults=plan, sdc=sdc, trace=want_artifacts,
-                    timeout=args.timeout,
+                    timeout=args.timeout, engine=args.engine,
                 ),
                 None,
             )
@@ -1367,7 +1387,8 @@ def _run_watch(args) -> int:
             pr = pc = 2
             if scenario == "diverge":
                 lr = 40.0  # deliberately unstable: loss blows up past 2x best
-            engine = SimEngine(pr * pc, None, trace=True, metrics=sink)
+            engine = SimEngine(pr * pc, None, trace=True, metrics=sink,
+                               backend=args.engine)
             _, losses, sim = distributed_mlp_train(
                 params0, x, y, pr=pr, pc=pc, batch=batch, steps=steps,
                 lr=lr, engine=engine,
@@ -1405,7 +1426,7 @@ def _run_watch(args) -> int:
             result = elastic_mlp_train(
                 params0, x, y, pr=pr, pc=pc, batch=batch, steps=steps,
                 checkpoint_every=2, parity=parity, faults=plan,
-                trace=True, metrics=sink,
+                trace=True, metrics=sink, engine=args.engine,
             )
             engine = result.engine
             config = {"scenario": scenario, "steps": steps, "parity": parity}
@@ -1659,7 +1680,7 @@ def _run_trace(args) -> int:
     x = rng.standard_normal((dims[0], n))
     y = rng.integers(0, dims[-1], n)
     try:
-        engine = SimEngine(args.pr * args.pc, trace=True)
+        engine = SimEngine(args.pr * args.pc, trace=True, backend=args.engine)
         _, _, sim = distributed_mlp_train(
             MLPParams.init(dims, seed=seed), x, y,
             pr=args.pr, pc=args.pc, batch=args.batch, steps=args.steps,

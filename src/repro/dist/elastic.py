@@ -38,7 +38,7 @@ stale state.  See ``docs/CHECKPOINT.md``.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -68,7 +68,7 @@ from repro.dist.train import MLPParams, _batch_columns
 from repro.errors import ConfigurationError, PeerFailedError, ShapeError, StrategyError
 from repro.machine.params import MachineParams, cori_knl
 from repro.nn.zoo import mlp
-from repro.simmpi.engine import SimEngine, SimResult
+from repro.simmpi.engine import SimEngine, SimResult, resolve_engine
 from repro.simmpi.sdc import payload_guard
 from repro.telemetry.heartbeat import emit_heartbeat
 from repro.telemetry.spans import span
@@ -598,6 +598,7 @@ def elastic_mlp_train(
     trace: bool = False,
     metrics=None,
     timeout: float = 30.0,
+    engine: Optional[Union[SimEngine, str]] = None,
 ) -> ElasticResult:
     """Train elastically on a supervised ``pr x pc`` simulation.
 
@@ -609,6 +610,10 @@ def elastic_mlp_train(
     parity chunks per stripe, i.e. the number of *concurrent* rank
     losses every striped checkpoint survives bit-exactly.
     ``sdc`` enables ABFT guards against injected bit flips.
+    ``engine`` selects the scheduler backend: ``None``/``"thread"``
+    (OS threads) or ``"event"`` (single-threaded discrete-event, same
+    results, far cheaper at scale) — or pass a prebuilt supervised
+    :class:`~repro.simmpi.engine.SimEngine` of the right size.
     Raises :class:`~repro.errors.RankFailedError` if every rank dies.
     """
     if x.ndim != 2:
@@ -625,7 +630,8 @@ def elastic_mlp_train(
         )
     if parity < 1:
         raise ConfigurationError(f"parity must be >= 1, got {parity}")
-    engine = SimEngine(
+    engine = resolve_engine(
+        engine,
         pr * pc,
         machine,
         trace=trace,
@@ -652,7 +658,7 @@ def elastic_mlp_train(
         schedule=schedule,
         lr_schedule=lr_schedule,
         machine=engine.network.machine,
-        sdc=make_guard(sdc),  # one shared guard: all ranks, one counter set
+        sdc=make_guard(sdc, single_thread=engine.backend == "event"),
     )
     losses, weights, grids, restores, degraded, restored, store = result.values[
         result.survivors[0]

@@ -18,7 +18,7 @@ multiple grid shapes.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -39,7 +39,7 @@ from repro.dist.partition import BlockPartition
 from repro.dist.sgd import SGD
 from repro.dist.train import _batch_columns
 from repro.errors import ConfigurationError, ShapeError
-from repro.simmpi.engine import SimEngine, SimResult
+from repro.simmpi.engine import SimEngine, SimResult, resolve_engine
 from repro.simmpi.sdc import payload_guard
 from repro.telemetry.heartbeat import emit_heartbeat
 from repro.telemetry.spans import span
@@ -422,25 +422,22 @@ def distributed_cnn_train(
     machine=None,
     trace: bool = False,
     metrics=None,
-    engine=None,
+    engine: Optional[Union[SimEngine, str]] = None,
     sdc=None,
 ) -> Tuple[CNNParams, List[float], SimResult]:
     """Integrated training on a ``pr x pc`` grid; returns full params.
 
     ``pr`` partitions image rows for the convolutions and FC weight rows
-    for the dense layers; ``pc`` shards the batch.
+    for the dense layers; ``pc`` shards the batch.  ``engine`` selects
+    the scheduler backend (``"thread"``/``"event"``) or supplies a
+    prebuilt :class:`~repro.simmpi.engine.SimEngine`.
     """
     config.validate_for_domain(pr)
     if batch % pc:
         raise ConfigurationError(
             f"batch {batch} must divide evenly over Pc={pc} for this trainer"
         )
-    if engine is None:
-        engine = SimEngine(pr * pc, machine, trace=trace, metrics=metrics)
-    elif engine.size != pr * pc:
-        raise ConfigurationError(
-            f"engine has {engine.size} ranks, grid needs {pr * pc}"
-        )
+    engine = resolve_engine(engine, pr * pc, machine, trace=trace, metrics=metrics)
     # One shared guard object so all ranks aggregate into the same
     # sdc.* counters (and the caller can inspect them afterwards).
     result = engine.run(
@@ -458,7 +455,7 @@ def distributed_cnn_train(
         weight_decay=weight_decay,
         schedule=schedule,
         lr_schedule=lr_schedule,
-        sdc=make_guard(sdc),
+        sdc=make_guard(sdc, single_thread=engine.backend == "event"),
     )
     # Conv weights are replicated (take rank 0's); FC weights reassemble
     # from the r-row blocks of column 0.

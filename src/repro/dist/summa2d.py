@@ -92,7 +92,7 @@ def summa_stationary_c(
     panels = BlockPartition(k, steps)
     m_i = a_rows.size(grid.row)
     n_j = b_local.shape[1]
-    guard = make_guard(sdc)
+    guard = make_guard(sdc, single_thread=grid.comm.engine.backend == "event")
     c_local = np.zeros((m_i, n_j), dtype=np.result_type(a_local, b_local))
     with span("summa", comm=grid.comm, pr=pr, pc=pc), payload_guard(guard):
         for t in range(steps):

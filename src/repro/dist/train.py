@@ -12,7 +12,7 @@ integration tests assert precisely this.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -25,7 +25,7 @@ from repro.simmpi.sdc import payload_guard
 from repro.dist.partition import BlockPartition
 from repro.dist.sgd import SGD
 from repro.errors import ConfigurationError, ShapeError
-from repro.simmpi.engine import SimEngine, SimResult
+from repro.simmpi.engine import SimEngine, SimResult, resolve_engine
 from repro.telemetry.heartbeat import emit_heartbeat
 from repro.telemetry.spans import span
 
@@ -260,7 +260,7 @@ def distributed_mlp_train(
     machine=None,
     trace: bool = False,
     metrics=None,
-    engine: Optional[SimEngine] = None,
+    engine: Optional[Union[SimEngine, str]] = None,
 ) -> Tuple[List[np.ndarray], List[float], SimResult]:
     """Train on a simulated ``pr x pc`` grid; returns full weights, losses, run.
 
@@ -268,21 +268,19 @@ def distributed_mlp_train(
     every rank); the weights are reassembled from the rank blocks.
     ``metrics`` optionally attaches a
     :class:`~repro.telemetry.metrics.MetricsRegistry` as the engine's
-    streaming event sink.  Passing a prebuilt ``engine`` (which must
-    have ``pr * pc`` ranks) lets callers keep the tracer handle — e.g.
+    streaming event sink.  ``engine`` may be a backend name
+    (``"thread"``/``"event"`` — see ``docs/SIMMPI.md``; results are
+    bit-identical, the event backend simulates large grids far faster)
+    or a prebuilt :class:`~repro.simmpi.engine.SimEngine` with
+    ``pr * pc`` ranks, which lets callers keep the tracer handle — e.g.
     to build a :class:`~repro.analysis.record.RunRecord` afterwards.
     ``sdc`` turns on the ABFT guards (see :func:`mlp_train_program`).
     """
     if batch % 1:
         raise ConfigurationError("batch must be an integer")
-    if engine is None:
-        engine = SimEngine(pr * pc, machine, trace=trace, metrics=metrics)
-    elif engine.size != pr * pc:
-        raise ConfigurationError(
-            f"engine has {engine.size} ranks, grid needs {pr * pc}"
-        )
+    engine = resolve_engine(engine, pr * pc, machine, trace=trace, metrics=metrics)
     # One shared guard so all ranks aggregate into the same sdc.* counters.
-    guard = make_guard(sdc)
+    guard = make_guard(sdc, single_thread=engine.backend == "event")
     result = engine.run(
         mlp_train_program,
         params0,

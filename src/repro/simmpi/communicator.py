@@ -62,6 +62,17 @@ class Mailbox:
         with self._cond:
             self._cond.notify_all()
 
+    def peek(self, key: Tuple) -> bool:
+        """Non-destructive match probe (used by ``Request.test``).
+
+        Both mailbox implementations (this one and the event backend's
+        :class:`~repro.simmpi.events.EventMailbox`) expose the same
+        probe so non-blocking requests work identically under either
+        engine backend.
+        """
+        with self._cond:
+            return bool(self._queues.get(key))
+
     def take(self, key: Tuple, timeout: float, interrupt) -> Tuple[Any, float]:
         """Block until a message matches ``key``; honour interrupts and timeouts.
 
@@ -120,9 +131,7 @@ class Request:
         """Non-blocking completion probe (never advances the clock)."""
         if self._done:
             return True
-        engine = self._comm._engine
-        with engine.mailbox._cond:
-            return bool(engine.mailbox._queues.get(self._key))
+        return self._comm._engine.mailbox.peek(self._key)
 
     def wait(self) -> Any:
         """Block until complete; returns the payload for receives."""
@@ -212,6 +221,11 @@ class Comm:
         return seq
 
     # -- identity ----------------------------------------------------------
+
+    @property
+    def engine(self) -> Any:
+        """The owning :class:`~repro.simmpi.engine.SimEngine`."""
+        return self._engine
 
     @property
     def rank(self) -> int:

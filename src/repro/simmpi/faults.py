@@ -466,6 +466,18 @@ class FaultInjector:
         self._link_machines: Dict[Tuple[float, float], MachineParams] = {}
         self.reset()
 
+    def set_single_thread(self, single_thread: bool = True) -> None:
+        """Elide the link-machine memo lock (single-threaded event backend).
+
+        The only injector state shared across ranks is the derated
+        link-machine cache; with one rank tasklet runnable at a time
+        its lock is pure overhead.  Idempotent; answers are identical
+        either way.
+        """
+        from repro.simmpi.tracing import NullLock
+
+        self._lock = NullLock() if single_thread else threading.Lock()
+
     def reset(self) -> None:
         """Rewind all per-run state (send counters, RNGs, fired crashes)."""
         self._send_counter: Dict[int, int] = {}

@@ -96,7 +96,14 @@ class PostalNetwork:
         Defaults to the paper's Cori-KNL preset.
     injector:
         Optional fault injector supplying per-link degradation windows.
+
+    Timing answers are pure functions of their arguments (no mutable
+    state beyond the injector's memo cache), so both engine backends —
+    threaded and discrete-event — share one network instance without
+    synchronisation.
     """
+
+    __slots__ = ("machine", "injector")
 
     def __init__(self, machine: MachineParams | None = None, injector=None) -> None:
         self.machine = machine if machine is not None else cori_knl()

@@ -19,7 +19,34 @@ import threading
 from collections import deque
 from typing import Callable, Dict, List, Optional, Tuple
 
-__all__ = ["TraceEvent", "Tracer"]
+__all__ = ["NullLock", "TraceEvent", "Tracer"]
+
+# Lazily bound repro.telemetry.spans.current_path (import cycle guard);
+# resolved once, on the first annotated record.
+_current_path = None
+
+
+class NullLock:
+    """A context manager with lock shape and zero cost.
+
+    Swapped in for real locks by the single-threaded event backend
+    (:mod:`repro.simmpi.events`), where exactly one rank tasklet runs
+    at a time and per-event locking is pure overhead.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullLock":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+    def acquire(self, *args: object, **kwargs: object) -> bool:
+        return True
+
+    def release(self) -> None:
+        return None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -87,6 +114,10 @@ class Tracer:
     store:
         Set ``False`` to skip the in-memory list entirely and only feed
         the sink — constant-memory telemetry for arbitrarily long runs.
+    threadsafe:
+        Set ``False`` to elide the per-record lock (single-thread mode,
+        used by the event backend where only one rank tasklet runs at a
+        time).  Recorded output is identical either way.
     """
 
     def __init__(
@@ -96,28 +127,38 @@ class Tracer:
         max_events: Optional[int] = None,
         sink: Optional[Callable[[TraceEvent], None]] = None,
         store: bool = True,
+        threadsafe: bool = True,
     ) -> None:
         self.enabled = enabled
         self.max_events = max_events
         self.sink = sink
         self.store = store
+        self.threadsafe = threadsafe
         self.dropped = 0
         self._events: "deque[TraceEvent] | List[TraceEvent]" = (
             deque(maxlen=max_events) if max_events is not None else []
         )
-        self._lock = threading.Lock()
+        self._lock = threading.Lock() if threadsafe else NullLock()
 
     def record(self, event: TraceEvent) -> None:
         if not self.enabled:
             return
         if not event.span:
-            from repro.telemetry.spans import current_path
+            global _current_path
+            if _current_path is None:
+                from repro.telemetry.spans import current_path
 
-            path = current_path()
+                _current_path = current_path
+            path = _current_path()
             if path:
-                event = dataclasses.replace(event, span=path)
-        if self.sink is not None:
-            self.sink(event)
+                # Annotate in place: the event was freshly constructed
+                # by the caller and is not yet shared, and
+                # ``dataclasses.replace`` (which re-runs the generated
+                # ``__init__``) dominates this hot path at scale.
+                object.__setattr__(event, "span", path)
+        sink = self.sink
+        if sink is not None:
+            sink(event)
         if not self.store:
             return
         with self._lock:
