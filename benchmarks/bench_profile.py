@@ -1,0 +1,269 @@
+"""Self-profiler overhead gate (``repro.profile``).
+
+Three claims are gated against the committed baseline in
+``benchmarks/BENCH_profile.json``:
+
+1. **Overhead budget.**  A fixed event-backend 1.5D training run is
+   timed bare and under a :class:`~repro.profile.ProfileSession`
+   (interleaved, medians over ``REPS`` pairs).  The profiled/bare wall
+   ratio must stay under the committed ceiling — the documented <5%
+   budget (``repro.profile.OVERHEAD_BUDGET``) — and the sampler's own
+   measured busy fraction must stay under the budget too (the
+   self-pacing in :mod:`repro.profile.sampler` enforces this even at
+   high rank counts).
+
+2. **Per-message host cost.**  The profiled run's all-in µs/msg
+   (wall clock over messages sent — counter-exact, no sampling
+   involved) must stay under the committed ceiling.  This is the
+   ROADMAP's "~7µs per message" figure turned into a regression gate:
+   message-path pessimisations show up here directly.
+
+3. **Bit-identity.**  The profiler is observability only: a profiled
+   and an unprofiled run of the same program must produce identical
+   weights, losses, virtual clocks, and canonical traces.
+
+Exit-code convention (same as the other ``BENCH_*`` gates):
+
+* ``0`` — all gates pass.
+* ``1`` — regression (``REGRESSION: ...`` on stderr).
+* ``2`` — configuration error (unreadable/mismatched baseline).
+
+Refresh the baseline after an intentional change with::
+
+    python benchmarks/bench_profile.py --update-baseline
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+
+import numpy as np
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_profile.json")
+BENCH_SCHEMA = "repro.profile.bench/v1"
+
+REPS = 5
+
+CONFIG = {
+    "run": {"pr": 4, "pc": 4, "steps": 40, "dims": [64, 64, 32], "hz": 197.0},
+    "reps": REPS,
+}
+
+# Committed gates.  The documented <5% budget (OVERHEAD_BUDGET) is
+# enforced on the sampler's *directly measured* self time — stable at
+# ~0.5% — because the identical workload's wall time swings ±15%
+# run-to-run on a shared single-core container, so an end-to-end wall
+# ratio cannot resolve a 5% effect there.  The ratio is still gated as
+# a coarse backstop against gross pessimisation (a hook on the wrong
+# path, a sampler that stops pacing): min(profiled)/min(bare) walls —
+# minima because scheduling noise only ever adds time — against a
+# ceiling with noise headroom above the budget (quiet-host ratios sit
+# at ~0.99-1.06, but loaded runs have been observed at 1.16).  The
+# µs/msg ceiling carries ~4x headroom over quiet measurements
+# (~45µs/msg all-in at this size, scheduler handoff dominating) for
+# the same reason.
+CEILING_OVERHEAD_RATIO = 1.25
+CEILING_US_PER_MSG = 180.0
+
+
+def _workload(profile=None):
+    """One fixed event-backend training run; returns (wall_s, outputs)."""
+    from repro.dist.train import MLPParams, distributed_mlp_train
+    from repro.simmpi.engine import SimEngine
+
+    cfg = CONFIG["run"]
+    pr, pc = cfg["pr"], cfg["pc"]
+    dims = tuple(cfg["dims"])
+    batch = pc * 2
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((dims[0], 2 * batch))
+    y = rng.integers(0, dims[-1], 2 * batch)
+    params0 = MLPParams.init(dims, seed=1)
+    engine = SimEngine(pr * pc, backend="event")
+    t0 = time.monotonic()
+    weights, losses, sim = distributed_mlp_train(
+        params0, x, y, pr=pr, pc=pc, batch=batch, steps=cfg["steps"],
+        engine=engine, profile=profile,
+    )
+    wall = time.monotonic() - t0
+    return wall, (weights, losses, sim)
+
+
+def _overhead_ratios():
+    """Interleaved bare/profiled walls; robust ratio + per-rep reports.
+
+    Returns ``(ratio, pair_ratios, reports)`` where ``ratio`` is
+    ``min(profiled walls) / min(bare walls)`` — minima because
+    OS-scheduling noise only ever *adds* wall time, making this the
+    robust estimator on shared single-core runners where per-pair
+    ratios swing ±15% (the pair ratios are recorded for eyes).
+    """
+    from repro.profile import ProfileSession
+
+    bare_walls = []
+    profiled_walls = []
+    reports = []
+    for _ in range(REPS):
+        bare_wall, _ = _workload()
+        session = ProfileSession(hz=CONFIG["run"]["hz"])
+        profiled_wall, _ = _workload(profile=session)
+        bare_walls.append(bare_wall)
+        profiled_walls.append(profiled_wall)
+        reports.append(session.report())
+    ratio = min(profiled_walls) / min(bare_walls)
+    pairs = [p / b for p, b in zip(profiled_walls, bare_walls)]
+    return ratio, pairs, reports
+
+
+def _bit_identity():
+    """Profiled vs unprofiled traced run: all outputs bit-identical."""
+    from repro.dist.train import MLPParams, distributed_mlp_train
+    from repro.profile import ProfileSession
+    from repro.simmpi.engine import SimEngine
+
+    dims = (12, 10, 6)
+    rng = np.random.default_rng(3)
+    x = rng.standard_normal((dims[0], 32))
+    y = rng.integers(0, dims[-1], 32)
+    params0 = MLPParams.init(dims, seed=2)
+    out = {}
+    for profiled in (False, True):
+        engine = SimEngine(4, backend="event", trace=True)
+        session = ProfileSession() if profiled else None
+        w, losses, sim = distributed_mlp_train(
+            params0, x, y, pr=2, pc=2, batch=8, steps=2,
+            engine=engine, profile=session,
+        )
+        out[profiled] = (w, losses, sim, engine.tracer.canonical())
+    w0, l0, s0, c0 = out[False]
+    w1, l1, s1, c1 = out[True]
+    return (
+        all(a.tobytes() == b.tobytes() for a, b in zip(w0, w1))
+        and l0 == l1
+        and s0.clocks == s1.clocks
+        and c0 == c1
+    )
+
+
+def run_profile_bench() -> dict:
+    from repro.profile import OVERHEAD_BUDGET
+
+    ratio, pair_ratios, reports = _overhead_ratios()
+    # Median-rep derived figures: the counter-exact all-in µs/msg and
+    # the sampler's directly measured self-time fraction.
+    us_per_msg = statistics.median(
+        r.us_per_msg_allin for r in reports if r.us_per_msg_allin
+    )
+    sampler_frac = statistics.median(r.overhead_frac for r in reports)
+    attribution_ok = all(
+        r.ticks == 0 or abs(r.attribution_total_s - r.wall_s) <= 0.10 * r.wall_s
+        for r in reports
+    )
+    return {
+        "schema": BENCH_SCHEMA,
+        "config": CONFIG,
+        "overhead_ratio": ratio,
+        "overhead_ratio_reps": pair_ratios,
+        "sampler_busy_frac": sampler_frac,
+        "us_per_msg_allin": us_per_msg,
+        "attribution_ok": attribution_ok,
+        "identical": _bit_identity(),
+        "budget": OVERHEAD_BUDGET,
+        "ceiling_overhead_ratio": CEILING_OVERHEAD_RATIO,
+        "ceiling_us_per_msg": CEILING_US_PER_MSG,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=BASELINE_PATH)
+    parser.add_argument("--update-baseline", action="store_true")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.0,
+        help="extra slack on the committed gates (fraction)",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        print("bench gate error: tolerance must be >= 0", file=sys.stderr)
+        return 2
+
+    record = run_profile_bench()
+    print(f"overhead    : profiled/bare wall ratio {record['overhead_ratio']:.3f} "
+          f"(reps {[f'{r:.3f}' for r in record['overhead_ratio_reps']]})")
+    print(f"sampler     : busy fraction {record['sampler_busy_frac']:.2%} "
+          f"of wall (budget {record['budget']:.0%})")
+    print(f"message path: {record['us_per_msg_allin']:.1f} µs/msg all-in "
+          "(wall / msgs, counter-exact)")
+    print(f"attribution : {'PASS' if record['attribution_ok'] else 'FAIL'} "
+          "(rows sum to wall within 10%)")
+    print(f"identity    : {'PASS' if record['identical'] else 'FAIL'}")
+
+    if args.update_baseline:
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline    : updated {args.baseline}")
+        return 0
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read baseline {args.baseline!r}: {exc}", file=sys.stderr)
+        return 2
+    if baseline.get("schema") != BENCH_SCHEMA:
+        print(f"bad baseline schema {baseline.get('schema')!r}", file=sys.stderr)
+        return 2
+    if baseline.get("config") != record["config"]:
+        print("baseline config does not match this benchmark's config; "
+              "re-run with --update-baseline", file=sys.stderr)
+        return 2
+
+    failures = []
+    ceiling_ratio = float(baseline["ceiling_overhead_ratio"]) * (1.0 + args.tolerance)
+    if record["overhead_ratio"] > ceiling_ratio:
+        failures.append(
+            f"profiler overhead ratio {record['overhead_ratio']:.3f} exceeds "
+            f"the committed ceiling {ceiling_ratio:.3f}"
+        )
+    budget = float(baseline["budget"]) * (1.0 + args.tolerance)
+    if record["sampler_busy_frac"] > budget:
+        failures.append(
+            f"sampler busy fraction {record['sampler_busy_frac']:.2%} exceeds "
+            f"the budget {budget:.2%}"
+        )
+    ceiling_msg = float(baseline["ceiling_us_per_msg"]) * (1.0 + args.tolerance)
+    if record["us_per_msg_allin"] > ceiling_msg:
+        failures.append(
+            f"all-in per-message host cost {record['us_per_msg_allin']:.1f}µs "
+            f"exceeds the committed ceiling {ceiling_msg:.1f}µs"
+        )
+    if not record["attribution_ok"]:
+        failures.append(
+            "attribution rows no longer sum to the measured wall-clock "
+            "within 10%"
+        )
+    if not record["identical"]:
+        failures.append(
+            "profiled run diverged bitwise from the unprofiled run "
+            "(values, clocks, or canonical trace)"
+        )
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print(f"gate        : PASS (ratio <= {ceiling_ratio:.3f}, "
+          f"busy <= {budget:.2%}, µs/msg <= {ceiling_msg:.0f})")
+    return 0
+
+
+def test_profile_gate():
+    """Tier-2 hook so `pytest benchmarks/bench_profile.py` runs the gate."""
+    assert main([]) == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,6 +43,16 @@ Version history
     Absent entirely for healthy runs, so earlier records stay
     byte-identical modulo the schema tag.  ``repro diff`` ignores the
     block (health is observability, not comparability).
+``v5``
+    Adds the optional ``host`` block: *host-side* wall-clock of the
+    run (``wall_s``) plus, when the run executed under the self
+    profiler (:mod:`repro.profile`), its sampler tick and drop
+    counters (``samples`` / ``samples_dropped``).  Host time is the
+    one deliberately machine-dependent quantity in a record, so the
+    block is opt-in (``build_run_record(..., host=...)``, typically
+    fed by :func:`repro.profile.host_block`) and ``repro diff``
+    ignores it entirely — virtual-time comparability and the
+    byte-stability of unprofiled records are unchanged.
 """
 
 from __future__ import annotations
@@ -60,6 +70,7 @@ __all__ = [
     "SUPPORTED_SCHEMAS",
     "SDC_COUNTER_KEYS",
     "CKPT_COUNTER_KEYS",
+    "HOST_COUNTER_KEYS",
     "RunRecord",
     "validate_run_record",
     "build_run_record",
@@ -67,7 +78,7 @@ __all__ = [
     "write_run_record",
 ]
 
-RUN_RECORD_SCHEMA = "repro.analysis.record/v4"
+RUN_RECORD_SCHEMA = "repro.analysis.record/v5"
 
 #: Schemas this reader accepts; new records are always written at the
 #: current version, old baselines stay loadable.
@@ -75,6 +86,7 @@ SUPPORTED_SCHEMAS = (
     "repro.analysis.record/v1",
     "repro.analysis.record/v2",
     "repro.analysis.record/v3",
+    "repro.analysis.record/v4",
     RUN_RECORD_SCHEMA,
 )
 
@@ -109,8 +121,13 @@ _TOP_LEVEL: Dict[str, Tuple[bool, type]] = {
     "sdc": (False, dict),
     "ckpt": (False, dict),
     "health": (False, dict),
+    "host": (False, dict),
     "meta": (False, dict),
 }
+
+#: The v5 ``host`` block's integer counter keys; ``wall_s`` is the
+#: only float-valued member.
+HOST_COUNTER_KEYS = ("samples", "samples_dropped")
 
 _SPAN_KEYS = ("span", "count", "virtual_time_s", "sends", "bytes")
 _RANK_KEYS = ("rank", "wall_s", "compute_s", "comm_s", "wait_s")
@@ -227,6 +244,19 @@ def validate_run_record(payload: Any) -> None:
             raise ConfigurationError(
                 f"ckpt.{key} must be a non-negative integer, got {value!r}"
             )
+    for key, value in payload.get("host", {}).items():
+        if key == "wall_s":
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ConfigurationError(
+                    f"host.wall_s must be a non-negative number, got {value!r}"
+                )
+        elif key in HOST_COUNTER_KEYS:
+            if not isinstance(value, int) or value < 0:
+                raise ConfigurationError(
+                    f"host.{key} must be a non-negative integer, got {value!r}"
+                )
+        else:
+            raise ConfigurationError(f"host block has unknown key {key!r}")
     _validate_health_block(payload.get("health", {}))
     critical = payload["critical"]
     if not isinstance(critical.get("length_s"), (int, float)):
@@ -263,6 +293,10 @@ class RunRecord:
     #: counts plus the raised HealthEvent rows; empty — and omitted —
     #: for healthy runs.
     health: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: Host-side wall clock and profiler sample counters (v5); empty —
+    #: and omitted — unless the builder was handed a host block
+    #: (records stay bit-stable across machines by default).
+    host: Dict[str, Any] = dataclasses.field(default_factory=dict)
 
     @property
     def config_key(self) -> Tuple:
@@ -303,6 +337,8 @@ class RunRecord:
                 "counts": dict(self.health.get("counts", {})),
                 "events": [dict(e) for e in self.health.get("events", [])],
             }
+        if self.host:
+            payload["host"] = dict(self.host)
         if self.meta:
             payload["meta"] = dict(self.meta)
         return payload
@@ -330,6 +366,7 @@ class RunRecord:
             sdc={k: int(v) for k, v in payload.get("sdc", {}).items()},
             ckpt={k: int(v) for k, v in payload.get("ckpt", {}).items()},
             health=dict(payload.get("health", {})),
+            host=dict(payload.get("host", {})),
         )
 
     @classmethod
@@ -365,6 +402,7 @@ def build_run_record(
     dropped: int = 0,
     meta: Optional[Dict[str, Any]] = None,
     health_config: Optional[Any] = None,
+    host: Optional[Dict[str, Any]] = None,
 ) -> RunRecord:
     """Assemble a :class:`RunRecord` from a trace.
 
@@ -382,7 +420,10 @@ def build_run_record(
     the deterministic health replay
     (:func:`~repro.observe.health.evaluate_health`, tunable via
     ``health_config``) yields the v4 ``health`` block — omitted when
-    no rule fired.
+    no rule fired.  ``host`` is the opt-in v5 host-time block
+    (typically :func:`repro.profile.host_block` of the engine that
+    ran); it is the one machine-dependent field, so builders never
+    fill it implicitly.
     """
     from repro.analysis.accounting import rank_accounting
     from repro.analysis.critical import critical_path
@@ -447,6 +488,7 @@ def build_run_record(
         sdc=sdc,
         ckpt=ckpt,
         health=health,
+        host=dict(host or {}),
     )
 
 

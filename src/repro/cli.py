@@ -367,7 +367,7 @@ def build_parser() -> argparse.ArgumentParser:
     watch_p.add_argument(
         "--record",
         default=None,
-        help="write the run's RunRecord JSON (schema v4, health block) here",
+        help="write the run's RunRecord JSON (schema v5, health block) here",
     )
     watch_p.add_argument(
         "--registry",
@@ -442,6 +442,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--records", nargs="*", default=(),
         help="RunRecord JSON files whose health events get timelines",
     )
+
+    profile_p = sub.add_parser(
+        "profile",
+        help=(
+            "host-time self-profiler: run a trainer under the sampling "
+            "profiler, print the per-subsystem attribution table with "
+            "µs/msg and µs/switch, export collapsed stacks / flamegraph / "
+            "pprof-style JSON"
+        ),
+    )
+    profile_p.add_argument(
+        "--trainer",
+        default="mlp",
+        choices=["mlp", "elastic", "summa", "integrated"],
+        help="which simulated workload to profile (default: mlp)",
+    )
+    profile_p.add_argument(
+        "-P", "--processes", type=int, default=None,
+        help=(
+            "total rank count; the grid is derived (Pr = largest divisor "
+            "<= sqrt(P)).  Mutually exclusive with --pr/--pc."
+        ),
+    )
+    profile_p.add_argument("--pr", type=int, default=None, help="model-parallel rows")
+    profile_p.add_argument("--pc", type=int, default=None, help="batch-parallel columns")
+    profile_p.add_argument("--steps", type=int, default=4, help="training steps (default 4)")
+    profile_p.add_argument(
+        "--hz", type=float, default=None,
+        help="sampling rate of the profiler thread (default 197)",
+    )
+    profile_p.add_argument(
+        "--out", default=None,
+        help=(
+            "directory for profile artifacts: collapsed.txt (flamegraph "
+            "collapsed-stack format), flamegraph.html, pprof.json, "
+            "profile.json (full report)"
+        ),
+    )
+    profile_p.add_argument(
+        "--record", default=None,
+        help="write the run's RunRecord JSON (with host block) to this path",
+    )
+    profile_p.add_argument(
+        "--json", action="store_true",
+        help="emit one machine-readable JSON object instead of tables",
+    )
+    _add_engine_arg(profile_p)
 
     diff_p = sub.add_parser(
         "diff",
@@ -855,7 +902,7 @@ def _run_sdc(args) -> int:
     from repro.dist.abft import make_guard
     from repro.dist.train import MLPParams, distributed_mlp_train, mlp_run_record
     from repro.errors import RankFailedError, SDCError
-    from repro.simmpi.engine import SimEngine
+    from repro.simmpi.engine import resolve_engine
     from repro.simmpi.faults import BitFlipFault, FaultPlan
 
     dims = (12, 10, 8)
@@ -867,8 +914,8 @@ def _run_sdc(args) -> int:
     params0 = MLPParams.init(dims, seed=args.seed)
 
     def run(plan=None, guard=None):
-        engine = SimEngine(pr * pc, None, trace=True, faults=plan,
-                           backend=args.engine)
+        engine = resolve_engine(args.engine, pr * pc, None, trace=True,
+                                faults=plan)
         weights, _, sim = distributed_mlp_train(
             params0, x, y, pr=pr, pc=pc, batch=batch, steps=args.steps,
             engine=engine, sdc=guard,
@@ -1346,7 +1393,7 @@ def _run_watch(args) -> int:
         evaluate_health,
     )
     from repro.observe.watch import WatchRenderer
-    from repro.simmpi.engine import SimEngine
+    from repro.simmpi.engine import resolve_engine
     from repro.simmpi.faults import Crash, FaultPlan, Straggler
 
     cfg_kwargs = {}
@@ -1387,8 +1434,8 @@ def _run_watch(args) -> int:
             pr = pc = 2
             if scenario == "diverge":
                 lr = 40.0  # deliberately unstable: loss blows up past 2x best
-            engine = SimEngine(pr * pc, None, trace=True, metrics=sink,
-                               backend=args.engine)
+            engine = resolve_engine(args.engine, pr * pc, None, trace=True,
+                                    metrics=sink)
             _, losses, sim = distributed_mlp_train(
                 params0, x, y, pr=pr, pc=pc, batch=batch, steps=steps,
                 lr=lr, engine=engine,
@@ -1662,7 +1709,7 @@ def _run_trace(args) -> int:
     from repro.errors import ReproError
     from repro.report.export import export_metrics
     from repro.report.timeline import render_traffic_matrix, traffic_matrix
-    from repro.simmpi.engine import SimEngine
+    from repro.simmpi.engine import resolve_engine
     from repro.telemetry.audit import audit_events
     from repro.telemetry.chrome import validate_chrome_trace, write_chrome_trace
     from repro.telemetry.metrics import MetricsRegistry
@@ -1680,7 +1727,7 @@ def _run_trace(args) -> int:
     x = rng.standard_normal((dims[0], n))
     y = rng.integers(0, dims[-1], n)
     try:
-        engine = SimEngine(args.pr * args.pc, trace=True, backend=args.engine)
+        engine = resolve_engine(args.engine, args.pr * args.pc, None, trace=True)
         _, _, sim = distributed_mlp_train(
             MLPParams.init(dims, seed=seed), x, y,
             pr=args.pr, pc=args.pc, batch=args.batch, steps=args.steps,
@@ -1756,6 +1803,253 @@ def _run_trace(args) -> int:
               file=sys.stderr)
         return 1
     return 0
+
+
+def _profile_grid(args):
+    """``(pr, pc)`` from ``--pr/--pc`` or derived from ``-P``."""
+    import math
+
+    from repro.errors import ConfigurationError
+
+    if args.pr is not None or args.pc is not None:
+        if args.processes is not None:
+            raise ConfigurationError("pass either -P or --pr/--pc, not both")
+        return (args.pr if args.pr is not None else 2,
+                args.pc if args.pc is not None else 2)
+    p = args.processes if args.processes is not None else 16
+    if p < 1:
+        raise ConfigurationError(f"-P must be >= 1, got {p}")
+    pr = 1
+    for d in range(1, math.isqrt(p) + 1):
+        if p % d == 0:
+            pr = d
+    return pr, p // pr
+
+
+def _run_profile(args) -> int:
+    import json
+    import math
+    import os
+
+    import numpy as np
+
+    from repro.errors import ConfigurationError, ReproError
+    from repro.profile import ProfileSession, host_block
+    from repro.profile.export import (
+        write_collapsed,
+        write_flamegraph_html,
+        write_pprof_json,
+    )
+    from repro.simmpi.engine import resolve_engine
+
+    try:
+        pr, pc = _profile_grid(args)
+        session = (
+            ProfileSession(hz=args.hz) if args.hz is not None else ProfileSession()
+        )
+    except ConfigurationError as exc:
+        print(f"profile config error: {exc}", file=sys.stderr)
+        return 2
+
+    trace = args.record is not None
+    seed = 0
+    steps = args.steps
+    rng = np.random.default_rng(seed)
+    record = None
+    if not args.json:
+        print(
+            f"profile : {args.trainer} on a {pr}x{pc} grid "
+            f"({args.engine} backend), {steps} step(s), "
+            f"sampling at {session.hz:g}Hz"
+        )
+    try:
+        if args.trainer == "mlp":
+            from repro.dist.train import (
+                MLPParams, distributed_mlp_train, mlp_run_record,
+            )
+
+            dims = (max(64, pr), max(64, pr), max(32, pr))
+            batch = 2 * pc
+            n = 2 * batch
+            x = rng.standard_normal((dims[0], n))
+            y = rng.integers(0, dims[-1], n)
+            engine = resolve_engine(args.engine, pr * pc, None, trace=trace)
+            _, _, sim = distributed_mlp_train(
+                MLPParams.init(dims, seed=seed), x, y,
+                pr=pr, pc=pc, batch=batch, steps=steps,
+                engine=engine, profile=session,
+            )
+            if trace:
+                record = mlp_run_record(
+                    engine, sim, dims=dims, pr=pr, pc=pc, batch=batch,
+                    steps=steps, meta={"profiled": True},
+                    host=host_block(engine),
+                )
+        elif args.trainer == "elastic":
+            from repro.dist.elastic import elastic_mlp_train, elastic_run_record
+            from repro.dist.train import MLPParams
+
+            dims = (max(64, pr), max(64, pr), max(32, pr))
+            batch = 2 * pc
+            n = 2 * batch
+            x = rng.standard_normal((dims[0], n))
+            y = rng.integers(0, dims[-1], n)
+            result = elastic_mlp_train(
+                MLPParams.init(dims, seed=seed), x, y,
+                pr=pr, pc=pc, batch=batch, steps=steps,
+                trace=trace, engine=args.engine, profile=session,
+            )
+            if trace:
+                record = elastic_run_record(
+                    result, batch=batch, steps=steps, meta={"profiled": True},
+                    host=host_block(result.engine),
+                )
+        elif args.trainer == "summa":
+            from repro.dist.summa2d import summa_run_record, summa_train
+
+            k = math.lcm(pr, pc) * 8
+            m = max(64, 4 * pr)
+            n_cols = max(64, 4 * pc)
+            a = rng.standard_normal((m, k))
+            b = rng.standard_normal((k, n_cols))
+            _, sim, engine = summa_train(
+                a, b, pr=pr, pc=pc, trace=trace,
+                engine=args.engine, profile=session,
+            )
+            if trace:
+                record = summa_run_record(
+                    engine, sim, m=m, k=k, n=n_cols, pr=pr, pc=pc,
+                    meta={"profiled": True}, host=host_block(engine),
+                )
+        else:  # integrated
+            from repro.data.synthetic import synthetic_images
+            from repro.dist.integrated import (
+                CNNParams, IntegratedCNNConfig, cnn_run_record,
+                distributed_cnn_train,
+            )
+
+            h = max(8, 4 * pr)
+            config = IntegratedCNNConfig(
+                in_channels=2, height=h, width=h, conv_channels=(4,),
+                conv_kernels=(3,), pool_after=(True,), fc_dims=(32, 5),
+            )
+            batch = 2 * pc
+            x, y = synthetic_images(2 * batch, 2, h, h, 5, seed=seed)
+            engine = resolve_engine(args.engine, pr * pc, None, trace=trace)
+            _, _, sim = distributed_cnn_train(
+                config, CNNParams.init(config, seed=seed), x, y,
+                pr=pr, pc=pc, batch=batch, steps=steps,
+                engine=engine, profile=session,
+            )
+            if trace:
+                record = cnn_run_record(
+                    engine, sim, config=config, pr=pr, pc=pc, batch=batch,
+                    steps=steps, meta={"profiled": True},
+                    host=host_block(engine),
+                )
+    except ReproError as exc:
+        print(f"profile failed: {exc}", file=sys.stderr)
+        return 2
+
+    report = session.report()
+    # Attribution sanity gate (the acceptance bar): per-subsystem host
+    # times must sum to within 10% of the measured wall-clock.
+    wall = report.wall_s
+    attribution_ok = (
+        report.ticks == 0
+        or abs(report.attribution_total_s - wall) <= 0.10 * wall
+    )
+    exit_code = 0 if attribution_ok else 1
+
+    artifacts = {}
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        out = args.out.rstrip("/")
+        collapsed = session.collapsed
+        subtitle = (
+            f"{args.trainer} {pr}x{pc} ({args.engine}), {report.wall_s:.3f}s "
+            f"wall, {report.ticks} ticks @ {report.hz:g}Hz"
+        )
+        artifacts["collapsed"] = f"{out}/collapsed.txt"
+        write_collapsed(collapsed, artifacts["collapsed"])
+        artifacts["flamegraph"] = f"{out}/flamegraph.html"
+        write_flamegraph_html(
+            collapsed, artifacts["flamegraph"],
+            title=f"repro profile {args.trainer}", subtitle=subtitle,
+        )
+        artifacts["pprof"] = f"{out}/pprof.json"
+        write_pprof_json(
+            collapsed, artifacts["pprof"], period_ns=1e9 / report.hz,
+        )
+        artifacts["report"] = f"{out}/profile.json"
+        with open(artifacts["report"], "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if args.record and record is not None:
+        from repro.analysis import write_run_record
+
+        write_run_record(record, args.record)
+
+    if args.json:
+        payload = {
+            "schema": "repro.cli.profile/v1",
+            "trainer": args.trainer,
+            "grid": {"pr": pr, "pc": pc},
+            "engine": args.engine,
+            "steps": steps,
+            "report": report.to_dict(),
+            "attribution_ok": attribution_ok,
+            "artifacts": artifacts,
+            "record": args.record,
+            "exit_code": exit_code,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return exit_code
+
+    print()
+    print(report.to_table().to_ascii())
+    print()
+    c = report.counters
+    print(
+        f"counters: {c['msgs_sent']} msgs ({c['bytes_sent']} bytes), "
+        f"{c['msgs_delivered']} delivered, {c['postal_calls']} postal, "
+        f"{c['switches']} switches, {c['dispatches']} dispatches, "
+        f"{c['trace_records']} trace records"
+    )
+    if report.us_per_msg is not None:
+        print(
+            f"derived : {report.us_per_msg:.2f} µs/msg sampled on the "
+            f"message path, {report.us_per_msg_allin:.2f} µs/msg all-in "
+            "(wall / msgs)"
+        )
+    if report.us_per_switch is not None:
+        print(
+            f"          {report.us_per_switch:.2f} µs/switch "
+            "(scheduler + handoff over switch count)"
+        )
+    print(
+        f"overhead: sampler busy {report.sampler_busy_s * 1e3:.1f}ms of "
+        f"{wall:.3f}s wall ({report.overhead_frac:.2%}; budget "
+        f"{100 * _profile_budget():.0f}%), {report.samples} samples kept, "
+        f"{report.samples_dropped} dropped"
+    )
+    for name, path in artifacts.items():
+        print(f"export  : {name} -> {path}")
+    if args.record and record is not None:
+        print(f"record  : wrote {args.record}")
+    if not attribution_ok:
+        print(
+            f"ATTRIBUTION MISMATCH: rows sum to {report.attribution_total_s:.3f}s "
+            f"vs {wall:.3f}s wall (>10% apart)",
+            file=sys.stderr,
+        )
+    return exit_code
+
+
+def _profile_budget() -> float:
+    from repro.profile import OVERHEAD_BUDGET
+
+    return OVERHEAD_BUDGET
 
 
 def _run_diff(args) -> int:
@@ -1869,6 +2163,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_chaos(args)
     if args.command == "trace":
         return _run_trace(args)
+    if args.command == "profile":
+        return _run_profile(args)
     if args.command == "diff":
         return _run_diff(args)
     # run

@@ -68,6 +68,7 @@ from repro.dist.train import MLPParams, _batch_columns
 from repro.errors import ConfigurationError, PeerFailedError, ShapeError, StrategyError
 from repro.machine.params import MachineParams, cori_knl
 from repro.nn.zoo import mlp
+from repro.profile.session import maybe_profile
 from repro.simmpi.engine import SimEngine, SimResult, resolve_engine
 from repro.simmpi.sdc import payload_guard
 from repro.telemetry.heartbeat import emit_heartbeat
@@ -599,6 +600,7 @@ def elastic_mlp_train(
     metrics=None,
     timeout: float = 30.0,
     engine: Optional[Union[SimEngine, str]] = None,
+    profile=None,
 ) -> ElasticResult:
     """Train elastically on a supervised ``pr x pc`` simulation.
 
@@ -614,6 +616,9 @@ def elastic_mlp_train(
     (OS threads) or ``"event"`` (single-threaded discrete-event, same
     results, far cheaper at scale) — or pass a prebuilt supervised
     :class:`~repro.simmpi.engine.SimEngine` of the right size.
+    ``profile`` optionally runs the simulation under a host-time
+    :class:`~repro.profile.ProfileSession` (observability only —
+    results are bit-identical with or without it).
     Raises :class:`~repro.errors.RankFailedError` if every rank dies.
     """
     if x.ndim != 2:
@@ -640,26 +645,27 @@ def elastic_mlp_train(
         timeout=timeout,
         metrics=metrics,
     )
-    result = engine.run(
-        elastic_mlp_program,
-        params0,
-        x,
-        y,
-        pr=pr,
-        pc=pc,
-        batch=batch,
-        steps=steps,
-        lr=lr,
-        momentum=momentum,
-        weight_decay=weight_decay,
-        checkpoint_every=checkpoint_every,
-        ckpt_mode=ckpt_mode,
-        parity=parity,
-        schedule=schedule,
-        lr_schedule=lr_schedule,
-        machine=engine.network.machine,
-        sdc=make_guard(sdc, single_thread=engine.backend == "event"),
-    )
+    with maybe_profile(profile):
+        result = engine.run(
+            elastic_mlp_program,
+            params0,
+            x,
+            y,
+            pr=pr,
+            pc=pc,
+            batch=batch,
+            steps=steps,
+            lr=lr,
+            momentum=momentum,
+            weight_decay=weight_decay,
+            checkpoint_every=checkpoint_every,
+            ckpt_mode=ckpt_mode,
+            parity=parity,
+            schedule=schedule,
+            lr_schedule=lr_schedule,
+            machine=engine.network.machine,
+            sdc=make_guard(sdc, single_thread=engine.backend == "event"),
+        )
     losses, weights, grids, restores, degraded, restored, store = result.values[
         result.survivors[0]
     ]
@@ -687,6 +693,7 @@ def elastic_run_record(
     sdc=None,
     meta=None,
     health_config=None,
+    host=None,
 ):
     """Build the :class:`~repro.analysis.record.RunRecord` of an elastic run.
 
@@ -731,4 +738,5 @@ def elastic_run_record(
         dropped=result.engine.tracer.dropped,
         meta=merged,
         health_config=health_config,
+        host=host,
     )

@@ -39,6 +39,7 @@ from repro.dist.partition import BlockPartition
 from repro.dist.sgd import SGD
 from repro.dist.train import _batch_columns
 from repro.errors import ConfigurationError, ShapeError
+from repro.profile.session import maybe_profile
 from repro.simmpi.engine import SimEngine, SimResult, resolve_engine
 from repro.simmpi.sdc import payload_guard
 from repro.telemetry.heartbeat import emit_heartbeat
@@ -424,13 +425,17 @@ def distributed_cnn_train(
     metrics=None,
     engine: Optional[Union[SimEngine, str]] = None,
     sdc=None,
+    profile=None,
 ) -> Tuple[CNNParams, List[float], SimResult]:
     """Integrated training on a ``pr x pc`` grid; returns full params.
 
     ``pr`` partitions image rows for the convolutions and FC weight rows
     for the dense layers; ``pc`` shards the batch.  ``engine`` selects
     the scheduler backend (``"thread"``/``"event"``) or supplies a
-    prebuilt :class:`~repro.simmpi.engine.SimEngine`.
+    prebuilt :class:`~repro.simmpi.engine.SimEngine`.  ``profile``
+    optionally runs the simulation under a host-time
+    :class:`~repro.profile.ProfileSession` (results are bit-identical
+    with or without it).
     """
     config.validate_for_domain(pr)
     if batch % pc:
@@ -440,23 +445,24 @@ def distributed_cnn_train(
     engine = resolve_engine(engine, pr * pc, machine, trace=trace, metrics=metrics)
     # One shared guard object so all ranks aggregate into the same
     # sdc.* counters (and the caller can inspect them afterwards).
-    result = engine.run(
-        _cnn_train_program,
-        config,
-        params0,
-        x,
-        y,
-        pr=pr,
-        pc=pc,
-        batch=batch,
-        steps=steps,
-        lr=lr,
-        momentum=momentum,
-        weight_decay=weight_decay,
-        schedule=schedule,
-        lr_schedule=lr_schedule,
-        sdc=make_guard(sdc, single_thread=engine.backend == "event"),
-    )
+    with maybe_profile(profile):
+        result = engine.run(
+            _cnn_train_program,
+            config,
+            params0,
+            x,
+            y,
+            pr=pr,
+            pc=pc,
+            batch=batch,
+            steps=steps,
+            lr=lr,
+            momentum=momentum,
+            weight_decay=weight_decay,
+            schedule=schedule,
+            lr_schedule=lr_schedule,
+            sdc=make_guard(sdc, single_thread=engine.backend == "event"),
+        )
     # Conv weights are replicated (take rank 0's); FC weights reassemble
     # from the r-row blocks of column 0.
     conv_ws = [w.copy() for w in result.values[0][0]]
@@ -479,12 +485,14 @@ def cnn_run_record(
     steps: int,
     sdc=None,
     meta=None,
+    host=None,
 ):
     """Build the :class:`~repro.analysis.record.RunRecord` of a traced run.
 
     ``config`` is summarized into JSON-safe comparable fields (conv
     stack shape plus FC dims); the trace is read in canonical order so
-    the record is deterministic.
+    the record is deterministic.  ``host`` opts in to the v5 host-time
+    block (e.g. ``repro.profile.host_block(engine)``).
     """
     from repro.analysis.record import build_run_record
     from repro.dist.train import _sdc_mode
@@ -508,4 +516,5 @@ def cnn_run_record(
         machine=engine.network.machine,
         dropped=engine.tracer.dropped,
         meta=meta,
+        host=host,
     )

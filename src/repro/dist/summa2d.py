@@ -31,6 +31,8 @@ from repro.dist.abft import inject_unguarded, make_guard
 from repro.dist.grid import GridComm
 from repro.dist.partition import BlockPartition
 from repro.errors import PartitionError, ShapeError
+from repro.profile.session import maybe_profile
+from repro.simmpi.engine import resolve_engine
 from repro.simmpi.sdc import payload_guard
 from repro.telemetry.heartbeat import emit_heartbeat
 from repro.telemetry.spans import span
@@ -39,6 +41,7 @@ __all__ = [
     "distribute_2d",
     "summa_stationary_c",
     "summa_matmul",
+    "summa_train",
     "summa_run_record",
 ]
 
@@ -152,6 +155,42 @@ def summa_matmul(
     )
 
 
+def summa_train(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    pr: int,
+    pc: int,
+    sdc=None,
+    machine=None,
+    trace: bool = False,
+    metrics=None,
+    engine=None,
+    profile=None,
+):
+    """Engine-level SUMMA driver: resolve, run, reassemble full ``C``.
+
+    The 2D baseline counterpart of
+    :func:`~repro.dist.train.distributed_mlp_train`: ``engine`` may be a
+    backend name (``"thread"``/``"event"``) or a prebuilt
+    :class:`~repro.simmpi.engine.SimEngine` with ``pr * pc`` ranks, and
+    ``profile`` optionally runs the multiply under a host-time
+    :class:`~repro.profile.ProfileSession` (results are bit-identical
+    with or without it).  Returns ``(c_full, sim_result, engine)`` so
+    callers can keep the tracer handle for :func:`summa_run_record`.
+    """
+    if a.shape[1] != b.shape[0]:
+        raise ShapeError(f"A {a.shape} and B {b.shape} do not conform")
+    engine = resolve_engine(engine, pr * pc, machine, trace=trace, metrics=metrics)
+    with maybe_profile(profile):
+        result = engine.run(summa_matmul, a, b, pr, pc, sdc=sdc)
+    rows = []
+    for r in range(pr):
+        rows.append(np.hstack([result.values[r * pc + c] for c in range(pc)]))
+    c_full = np.vstack(rows)
+    return c_full, result, engine
+
+
 def summa_run_record(
     engine,
     sim,
@@ -163,6 +202,7 @@ def summa_run_record(
     pc: int,
     sdc=None,
     meta=None,
+    host=None,
 ):
     """Build the :class:`~repro.analysis.record.RunRecord` of a traced SUMMA.
 
@@ -188,4 +228,5 @@ def summa_run_record(
         machine=engine.network.machine,
         dropped=engine.tracer.dropped,
         meta=meta,
+        host=host,
     )

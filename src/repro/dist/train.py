@@ -25,6 +25,7 @@ from repro.simmpi.sdc import payload_guard
 from repro.dist.partition import BlockPartition
 from repro.dist.sgd import SGD
 from repro.errors import ConfigurationError, ShapeError
+from repro.profile.session import maybe_profile
 from repro.simmpi.engine import SimEngine, SimResult, resolve_engine
 from repro.telemetry.heartbeat import emit_heartbeat
 from repro.telemetry.spans import span
@@ -261,6 +262,7 @@ def distributed_mlp_train(
     trace: bool = False,
     metrics=None,
     engine: Optional[Union[SimEngine, str]] = None,
+    profile=None,
 ) -> Tuple[List[np.ndarray], List[float], SimResult]:
     """Train on a simulated ``pr x pc`` grid; returns full weights, losses, run.
 
@@ -275,28 +277,32 @@ def distributed_mlp_train(
     ``pr * pc`` ranks, which lets callers keep the tracer handle — e.g.
     to build a :class:`~repro.analysis.record.RunRecord` afterwards.
     ``sdc`` turns on the ABFT guards (see :func:`mlp_train_program`).
+    ``profile`` optionally runs the training under a host-time
+    :class:`~repro.profile.ProfileSession` (observability only: values,
+    clocks, and traces are bit-identical with or without it).
     """
     if batch % 1:
         raise ConfigurationError("batch must be an integer")
     engine = resolve_engine(engine, pr * pc, machine, trace=trace, metrics=metrics)
     # One shared guard so all ranks aggregate into the same sdc.* counters.
     guard = make_guard(sdc, single_thread=engine.backend == "event")
-    result = engine.run(
-        mlp_train_program,
-        params0,
-        x,
-        y,
-        pr=pr,
-        pc=pc,
-        batch=batch,
-        steps=steps,
-        lr=lr,
-        momentum=momentum,
-        weight_decay=weight_decay,
-        schedule=schedule,
-        lr_schedule=lr_schedule,
-        sdc=guard,
-    )
+    with maybe_profile(profile):
+        result = engine.run(
+            mlp_train_program,
+            params0,
+            x,
+            y,
+            pr=pr,
+            pc=pc,
+            batch=batch,
+            steps=steps,
+            lr=lr,
+            momentum=momentum,
+            weight_decay=weight_decay,
+            schedule=schedule,
+            lr_schedule=lr_schedule,
+            sdc=guard,
+        )
     weights = assemble_weights(result, params0.dims, pr, pc)
     losses = list(result.values[0][1])
     return weights, losses, result
@@ -321,6 +327,7 @@ def mlp_run_record(
     sdc=None,
     meta=None,
     health_config=None,
+    host=None,
 ):
     """Build the :class:`~repro.analysis.record.RunRecord` of a traced run.
 
@@ -329,6 +336,8 @@ def mlp_run_record(
     order so the record is deterministic for a given program.  Pass the
     run's ``sdc`` policy mode so guarded records get a distinct config
     key (unguarded records stay byte-identical to pre-SDC baselines).
+    ``host`` opts in to the v5 host-time block (e.g.
+    ``repro.profile.host_block(engine)``).
     """
     from repro.analysis.record import build_run_record
 
@@ -350,4 +359,5 @@ def mlp_run_record(
         dropped=engine.tracer.dropped,
         meta=meta,
         health_config=health_config,
+        host=host,
     )

@@ -1,0 +1,209 @@
+"""Artifact exporters for profiler results.
+
+Three formats, all dependency-free:
+
+* **Collapsed stacks** — Brendan Gregg's ``frame;frame;frame count``
+  lines, directly consumable by ``flamegraph.pl``, speedscope, and
+  friends.  Tick weights are fractional (a tick splits evenly over
+  concurrently-busy stacks), so counts are emitted in *milliticks*
+  (weight × 1000, rounded) to stay integral.
+* **Flamegraph HTML** — a self-contained static flamegraph (nested
+  flex divs, inline CSS, no JavaScript or external assets), same
+  spirit as the observatory dashboard in :mod:`repro.report.dash`.
+* **pprof-style JSON** — the ``profile.proto`` shape (sampleType /
+  sample / location / function tables) serialised as JSON.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from typing import Dict, List, Mapping, Tuple
+
+#: Scale factor applied to fractional tick weights for integer output.
+MILLITICKS = 1000
+
+
+def collapsed_lines(collapsed: Mapping[Tuple[str, ...], float]) -> List[str]:
+    """Sorted ``frame;frame count`` lines (counts in milliticks)."""
+    lines = []
+    for stack in sorted(collapsed):
+        count = int(round(collapsed[stack] * MILLITICKS))
+        if count <= 0 or not stack:
+            continue
+        lines.append(";".join(stack) + f" {count}")
+    return lines
+
+
+def write_collapsed(collapsed: Mapping[Tuple[str, ...], float], path: str) -> int:
+    """Write collapsed stacks; returns the number of lines written."""
+    lines = collapsed_lines(collapsed)
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in lines:
+            fh.write(line + "\n")
+    return len(lines)
+
+
+# -- flamegraph ------------------------------------------------------------
+
+_PALETTE_SEED = 0x9E3779B9
+
+
+def _frame_color(name: str) -> str:
+    h = _PALETTE_SEED
+    for ch in name:
+        h = ((h ^ ord(ch)) * 0x01000193) & 0xFFFFFFFF
+    hue = 10 + (h % 45)          # warm flame hues
+    light = 55 + ((h >> 8) % 15)
+    return f"hsl({hue},85%,{light}%)"
+
+
+def _trie(collapsed: Mapping[Tuple[str, ...], float]) -> dict:
+    root = {"name": "all", "value": 0.0, "children": {}}
+    for stack, weight in collapsed.items():
+        root["value"] += weight
+        node = root
+        for frame in stack:
+            child = node["children"].get(frame)
+            if child is None:
+                child = node["children"][frame] = {
+                    "name": frame, "value": 0.0, "children": {},
+                }
+            child["value"] += weight
+            node = child
+    return root
+
+
+def _render_node(node: dict, total: float, out: List[str]) -> None:
+    value = node["value"]
+    pct_total = 100.0 * value / total if total else 0.0
+    name = html.escape(node["name"])
+    out.append(
+        f'<div class="fg-node" style="background:{_frame_color(node["name"])}" '
+        f'title="{name} — {value:.1f} ticks ({pct_total:.1f}%)">'
+        f'<span class="fg-label">{name}</span>'
+    )
+    children = node["children"]
+    if children:
+        out.append('<div class="fg-row">')
+        child_sum = 0.0
+        for child in children.values():
+            child_sum += child["value"]
+            width = 100.0 * child["value"] / value if value else 0.0
+            out.append(f'<div class="fg-cell" style="width:{width:.4f}%">')
+            _render_node(child, total, out)
+            out.append("</div>")
+        self_weight = value - child_sum
+        if self_weight > 1e-9 and value:
+            width = 100.0 * self_weight / value
+            out.append(
+                f'<div class="fg-cell fg-self" style="width:{width:.4f}%"></div>'
+            )
+        out.append("</div>")
+    out.append("</div>")
+
+
+_FLAME_CSS = """
+body { font: 12px/1.4 -apple-system, 'Segoe UI', sans-serif; margin: 16px;
+       background: #fafafa; color: #222; }
+h1 { font-size: 16px; } .meta { color: #666; margin-bottom: 12px; }
+.fg-node { border: 1px solid rgba(0,0,0,.15); border-radius: 2px;
+           overflow: hidden; min-width: 0; }
+.fg-label { display: block; padding: 1px 4px; white-space: nowrap;
+            overflow: hidden; text-overflow: ellipsis; font-size: 11px; }
+.fg-row { display: flex; align-items: stretch; }
+.fg-cell { min-width: 0; }
+.fg-self { background: transparent; }
+"""
+
+
+def write_flamegraph_html(
+    collapsed: Mapping[Tuple[str, ...], float],
+    path: str,
+    *,
+    title: str = "repro host-time flamegraph",
+    subtitle: str = "",
+) -> None:
+    """Self-contained static flamegraph (no JS, no external assets).
+
+    Root at the top, callees nested below; widths proportional to
+    sampled tick weight; hover titles carry exact tick counts and the
+    share of total.
+    """
+    root = _trie(collapsed)
+    body: List[str] = []
+    if root["children"]:
+        _render_node(root, root["value"], body)
+    else:
+        body.append("<p>(no busy samples recorded)</p>")
+    doc = (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        f"<title>{html.escape(title)}</title>"
+        f"<style>{_FLAME_CSS}</style></head><body>"
+        f"<h1>{html.escape(title)}</h1>"
+        f"<div class='meta'>{html.escape(subtitle)}</div>"
+        + "".join(body)
+        + "</body></html>"
+    )
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(doc)
+
+
+# -- pprof-style JSON ------------------------------------------------------
+
+PPROF_SCHEMA = "repro.profile.pprof/v1"
+
+
+def write_pprof_json(
+    collapsed: Mapping[Tuple[str, ...], float],
+    path: str,
+    *,
+    period_ns: float,
+) -> dict:
+    """pprof ``profile.proto``-shaped JSON.
+
+    ``sample.value`` carries ``[milliticks, time_ns]`` per stack, with
+    ``time_ns = weight * period_ns`` (one tick ≈ one sampling period).
+    Location IDs are leaf-first within each sample, matching pprof's
+    convention.  Returns the payload (also written to *path*).
+    """
+    functions: Dict[str, int] = {}
+    function_table = []
+    location_table = []
+    samples = []
+    for stack in sorted(collapsed):
+        weight = collapsed[stack]
+        location_ids = []
+        for frame in reversed(stack):  # leaf first
+            fid = functions.get(frame)
+            if fid is None:
+                fid = functions[frame] = len(functions) + 1
+                filename, _, name = frame.rpartition(":")
+                function_table.append({
+                    "id": fid, "name": name or frame, "filename": filename,
+                })
+                location_table.append({"id": fid, "function": fid})
+            location_ids.append(fid)
+        samples.append({
+            "location": location_ids,
+            "value": [
+                int(round(weight * MILLITICKS)),
+                int(round(weight * period_ns)),
+            ],
+        })
+    payload = {
+        "schema": PPROF_SCHEMA,
+        "sampleType": [
+            {"type": "samples", "unit": "milliticks"},
+            {"type": "time", "unit": "nanoseconds"},
+        ],
+        "period": int(round(period_ns)),
+        "periodType": {"type": "time", "unit": "nanoseconds"},
+        "sample": samples,
+        "location": location_table,
+        "function": function_table,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return payload

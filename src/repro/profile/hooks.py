@@ -1,0 +1,109 @@
+"""Hot-path hook slot for the self-profiler.
+
+Instrumented sites across the simulator (scheduler dispatch, message
+send/deliver, postal model, telemetry record, fault machinery) all
+share one contract::
+
+    h = hooks.ACTIVE
+    if h is not None:
+        h.msgs_sent += 1
+
+When no :class:`~repro.profile.session.ProfileSession` is active the
+cost is a module-global load plus an ``is not None`` check — tens of
+nanoseconds, far under the documented <5% overhead budget even on the
+~1µs scheduler switch path.  Hooks only ever mutate *host-side*
+counters: no virtual clock, payload, or trace state is touched, which
+is what keeps profiled runs bit-identical to unprofiled ones.
+
+Host *time* is never measured here.  Times come from the sampling
+thread (:mod:`repro.profile.sampler`); the counters below are the
+denominators for derived metrics such as µs/msg and µs/switch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class HookCounters:
+    """Mutable counter block owned by the active profile session."""
+
+    __slots__ = (
+        "session",
+        "engine",
+        "runs",
+        "runs_active",
+        "msgs_sent",
+        "bytes_sent",
+        "msgs_delivered",
+        "postal_calls",
+        "trace_records",
+        "fault_outcomes",
+        "dispatches",
+        "switches",
+    )
+
+    def __init__(self, session: Any = None) -> None:
+        self.session = session
+        self.engine: Any = None
+        self.runs = 0
+        self.runs_active = 0
+        self.msgs_sent = 0
+        self.bytes_sent = 0
+        self.msgs_delivered = 0
+        self.postal_calls = 0
+        self.trace_records = 0
+        self.fault_outcomes = 0
+        self.dispatches = 0
+        self.switches = 0
+
+    # -- engine lifecycle ---------------------------------------------------
+
+    def note_run_start(self, engine: Any) -> None:
+        """Called by ``SimEngine.run``: register the engine so the
+        sampler can correlate samples with its virtual clocks."""
+        self.engine = engine
+        self.runs += 1
+        self.runs_active += 1
+
+    def note_run_end(self, engine: Any) -> None:
+        """Run finished: no-busy-stack ticks go back to ``idle``."""
+        if self.runs_active > 0:
+            self.runs_active -= 1
+
+    def note_switches(self, switches: int) -> None:
+        """Credit the event core's switch count at run end."""
+        self.switches += int(switches)
+
+    def counters(self) -> dict:
+        """Plain-dict snapshot (host-side only, safe to take any time)."""
+        return {
+            "runs": self.runs,
+            "msgs_sent": self.msgs_sent,
+            "bytes_sent": self.bytes_sent,
+            "msgs_delivered": self.msgs_delivered,
+            "postal_calls": self.postal_calls,
+            "trace_records": self.trace_records,
+            "fault_outcomes": self.fault_outcomes,
+            "dispatches": self.dispatches,
+            "switches": self.switches,
+        }
+
+
+#: The single active hook block, or ``None`` when no profiler runs.
+ACTIVE: Optional[HookCounters] = None
+
+
+def activate(session: Any) -> HookCounters:
+    """Install a hook block for *session*; only one may be active."""
+    global ACTIVE
+    if ACTIVE is not None:
+        raise RuntimeError("a ProfileSession is already active")
+    ACTIVE = HookCounters(session)
+    return ACTIVE
+
+
+def deactivate() -> None:
+    """Clear the hook slot (instrumented sites go back to the no-op path)."""
+    global ACTIVE
+    ACTIVE = None

@@ -27,6 +27,7 @@ from repro.errors import (
     SDCDetectedError,
     TransientCommError,
 )
+from repro.profile import hooks as _profile_hooks
 from repro.simmpi.network import payload_bytes, payload_data_bytes
 from repro.simmpi.sdc import (
     SDC_DIGEST_BYTES,
@@ -143,6 +144,9 @@ class Request:
         payload, arrival = engine.mailbox.take(
             self._key, engine.timeout, comm._interrupt_for(self._key[1])
         )
+        h = _profile_hooks.ACTIVE
+        if h is not None:
+            h.msgs_delivered += 1
         engine.sync_clock(comm.world_rank, arrival)
         if engine.tracer.enabled:
             engine.tracer.record(
@@ -326,6 +330,10 @@ class Comm:
         engine = self._engine
         injector = engine.injector
         nbytes = payload_bytes(obj)
+        h = _profile_hooks.ACTIVE
+        if h is not None:
+            h.msgs_sent += 1
+            h.bytes_sent += nbytes
         payload = obj.copy() if isinstance(obj, np.ndarray) else copy.deepcopy(obj)
         key = (self._ctx, self._world_rank, dst_world, tag)
         guard = current_guard()
@@ -444,6 +452,9 @@ class Comm:
         payload, arrival = self._engine.mailbox.take(
             key, self._engine.timeout, self._interrupt_for(src_world)
         )
+        h = _profile_hooks.ACTIVE
+        if h is not None:
+            h.msgs_delivered += 1
         self._engine.sync_clock(self._world_rank, arrival)
         if self._engine.tracer.enabled:
             self._engine.tracer.record(

@@ -30,7 +30,10 @@ from __future__ import annotations
 
 import dataclasses
 import threading
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.profile import hooks as _profile_hooks
 
 from repro.errors import (
     ConfigurationError,
@@ -193,6 +196,12 @@ class SimEngine:
         # tasklet spawn order (results must be independent of it).
         self._event_core = None
         self._spawn_order: Optional[Sequence[int]] = None
+        # Host-side observability of the last run(): wall-clock seconds
+        # (always measured — two perf_counter calls per run) and the
+        # ProfileSession active during it, if any.  Consumed by the
+        # RunRecord ``host`` block (repro.profile.host_block).
+        self.last_host_wall_s: Optional[float] = None
+        self.last_profile: Optional[Any] = None
 
     # -- clocks ------------------------------------------------------------
 
@@ -407,46 +416,60 @@ class SimEngine:
         self._coord_reads = {}
         if self.injector is not None:
             self.injector.reset()
-        if self.backend == "event":
-            from repro.simmpi.events import EventCore
+        profile_hooks = _profile_hooks.ACTIVE
+        self.last_profile = (
+            profile_hooks.session if profile_hooks is not None else None
+        )
+        if profile_hooks is not None:
+            profile_hooks.note_run_start(self)
+        t_host_start = perf_counter()
+        try:
+            if self.backend == "event":
+                from repro.simmpi.events import EventCore
 
-            core = EventCore(self)
-            self._event_core = core
-            self.mailbox = core.mailbox
-            try:
-                results, failures = core.run(
-                    fn, args, kwargs, spawn_order=self._spawn_order
-                )
-            finally:
-                self._event_core = None
-            return self._finish(results, failures)
-        self.mailbox = Mailbox()
-        results: List[Any] = [None] * self.size
-        failures: Dict[int, BaseException] = {}
+                core = EventCore(self)
+                self._event_core = core
+                self.mailbox = core.mailbox
+                try:
+                    results, failures = core.run(
+                        fn, args, kwargs, spawn_order=self._spawn_order
+                    )
+                finally:
+                    self._event_core = None
+                    if profile_hooks is not None:
+                        profile_hooks.note_switches(core.switches)
+                return self._finish(results, failures)
+            self.mailbox = Mailbox()
+            results: List[Any] = [None] * self.size
+            failures: Dict[int, BaseException] = {}
 
-        def worker(rank: int) -> None:
-            comm = self.world_comm(rank)
-            try:
-                results[rank] = fn(comm, *args, **kwargs)
-            except SimulatedCrashError as exc:
-                if self.supervise:
-                    self._register_crash(rank, exc)
-                else:
+            def worker(rank: int) -> None:
+                comm = self.world_comm(rank)
+                try:
+                    results[rank] = fn(comm, *args, **kwargs)
+                except SimulatedCrashError as exc:
+                    if self.supervise:
+                        self._register_crash(rank, exc)
+                    else:
+                        failures[rank] = exc
+                        self._abort.set()
+                except BaseException as exc:  # noqa: BLE001 - reported to caller
                     failures[rank] = exc
                     self._abort.set()
-            except BaseException as exc:  # noqa: BLE001 - reported to caller
-                failures[rank] = exc
-                self._abort.set()
 
-        threads = [
-            threading.Thread(target=worker, args=(rank,), name=f"simmpi-rank-{rank}", daemon=True)
-            for rank in range(self.size)
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-        return self._finish(results, failures)
+            threads = [
+                threading.Thread(target=worker, args=(rank,), name=f"simmpi-rank-{rank}", daemon=True)
+                for rank in range(self.size)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            return self._finish(results, failures)
+        finally:
+            self.last_host_wall_s = perf_counter() - t_host_start
+            if profile_hooks is not None:
+                profile_hooks.note_run_end(self)
 
     def _finish(
         self, results: List[Any], failures: Dict[int, BaseException]
@@ -489,6 +512,11 @@ def resolve_engine(
     re-implementing the coercion.
     """
     if engine is None or isinstance(engine, str):
+        if engine is not None and engine not in SimEngine.BACKENDS:
+            raise ConfigurationError(
+                f"unknown engine backend {engine!r}; valid backends: "
+                + ", ".join(SimEngine.BACKENDS)
+            )
         return SimEngine(
             size,
             machine,

@@ -48,6 +48,7 @@ from repro.errors import (
     RankFailedError,
     SimulatedCrashError,
 )
+from repro.profile import hooks as _profile_hooks
 
 __all__ = ["EventCore", "EventMailbox"]
 
@@ -273,6 +274,9 @@ class EventCore:
 
     def _dispatch(self) -> None:
         """Hand the baton to the next runnable tasklet (or end the run)."""
+        h = _profile_hooks.ACTIVE
+        if h is not None:
+            h.dispatches += 1
         nxt = self._next_ready()
         if nxt is None:
             self._main_gate.open()

@@ -48,6 +48,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, SimulatedCrashError
 from repro.machine.params import MachineParams
+from repro.profile import hooks as _profile_hooks
 
 __all__ = [
     "Crash",
@@ -557,6 +558,9 @@ class FaultInjector:
         per retry attempt) and consults drop/transient specs in that
         order.  Only called from ``src``'s own thread.
         """
+        h = _profile_hooks.ACTIVE
+        if h is not None:
+            h.fault_outcomes += 1
         index = self._send_counter.get(src, 0)
         self._send_counter[src] = index + 1
         for drop in self._drops_by_rank.get(src, ()):

@@ -21,6 +21,7 @@ from typing import Any, Optional
 import numpy as np
 
 from repro.machine.params import MachineParams, cori_knl
+from repro.profile import hooks as _profile_hooks
 from repro.simmpi.sdc import SDC_DIGEST_BYTES, GuardedPayload
 
 __all__ = ["PostalNetwork", "payload_bytes", "payload_data_bytes"]
@@ -135,6 +136,9 @@ class PostalNetwork:
         """Seconds for one ``nbytes`` message: ``alpha + beta * n``."""
         if nbytes < 0:
             raise ValueError(f"message size must be >= 0, got {nbytes}")
+        h = _profile_hooks.ACTIVE
+        if h is not None:
+            h.postal_calls += 1
         machine = self.link_machine(src, dst, at)
         return machine.alpha + machine.beta_per_byte * nbytes
 

@@ -19,6 +19,8 @@ import threading
 from collections import deque
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.profile import hooks as _profile_hooks
+
 __all__ = ["NullLock", "TraceEvent", "Tracer"]
 
 # Lazily bound repro.telemetry.spans.current_path (import cycle guard);
@@ -143,6 +145,9 @@ class Tracer:
     def record(self, event: TraceEvent) -> None:
         if not self.enabled:
             return
+        h = _profile_hooks.ACTIVE
+        if h is not None:
+            h.trace_records += 1
         if not event.span:
             global _current_path
             if _current_path is None:

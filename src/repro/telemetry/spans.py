@@ -32,6 +32,16 @@ __all__ = ["span", "current_path", "format_label", "parse_label", "base_name"]
 
 _local = threading.local()
 
+# Sampling registry: thread ident -> _SpanState, maintained only while
+# a repro.profile.ProfileSession is active.  `threading.local` state is
+# invisible across threads, so the profiler's sampler could not
+# otherwise correlate a sampled stack with the rank's open span.  The
+# flag check keeps the disabled-path cost of _state() at one global
+# load, and disable_registry() drops every reference so no state
+# outlives a profiling session.
+_registry: Dict[int, "_SpanState"] = {}
+_registry_enabled = False
+
 
 class _SpanState:
     __slots__ = ("stack", "path")
@@ -45,7 +55,35 @@ def _state() -> _SpanState:
     st = getattr(_local, "state", None)
     if st is None:
         st = _local.state = _SpanState()
+    if _registry_enabled:
+        ident = threading.get_ident()
+        if ident not in _registry:
+            _registry[ident] = st
     return st
+
+
+def enable_registry() -> None:
+    """Start mirroring per-thread span state for cross-thread sampling."""
+    global _registry_enabled
+    _registry_enabled = True
+
+
+def disable_registry() -> None:
+    """Stop mirroring and drop all registered state references."""
+    global _registry_enabled
+    _registry_enabled = False
+    _registry.clear()
+
+
+def registered_path(ident: int) -> Optional[Tuple[str, ...]]:
+    """The open span path of thread *ident*, if it registered any.
+
+    Read-only and race-tolerant: ``path`` is replaced atomically on
+    span enter/exit, so a concurrent reader sees either the old or the
+    new tuple, never a torn value.
+    """
+    st = _registry.get(ident)
+    return st.path if st is not None else None
 
 
 def current_path() -> Tuple[str, ...]:

@@ -62,7 +62,7 @@ class TestWatch:
         ])
         assert code == 1
         payload = json.loads(record.read_text())
-        assert payload["schema"] == "repro.analysis.record/v4"
+        assert payload["schema"] == "repro.analysis.record/v5"
         assert payload["health"]["counts"].get("straggler", 0) >= 1
         entries = load_registry(str(registry))
         assert len(entries) == 1
